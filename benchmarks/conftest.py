@@ -1,0 +1,22 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one of the paper's tables/figures on the
+scaled-down machines with the ``fast`` sweep configuration, runs exactly
+once (the simulator is deterministic — repeated rounds would only re-run
+identical work), and asserts the paper's qualitative claims about the
+result it produced.
+"""
+
+import pytest
+
+from repro.experiments.config import default_config
+
+
+@pytest.fixture(scope="session")
+def config():
+    return default_config(fast=True)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a regeneration exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

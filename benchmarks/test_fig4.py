@@ -1,0 +1,43 @@
+"""Benchmark: regenerate Figure 4 (mm MFLOPS sweeps) on both machines.
+
+Shape claims from §4.1 encoded as assertions:
+
+* ECO beats Native at every size and by a wide margin on average;
+* ECO is at least competitive with ATLAS and the vendor BLAS on average
+  (the paper: outperforms ATLAS on the SGI, 98% of ATLAS on the Sun,
+  comparable to BLAS on both);
+* Native decays at the largest sizes (TLB) — its tail is below its peak;
+* ATLAS is weaker at the small end (no copy there) than at the large end.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments.fig4 import run_fig4
+
+
+def _avg(xs):
+    return sum(xs) / len(xs)
+
+
+@pytest.mark.parametrize("machine", ["sgi", "sun"])
+def test_fig4(benchmark, config, machine):
+    result = run_once(benchmark, run_fig4, machine, config)
+    series = result["series"]
+    eco, native = series["ECO"], series["Native"]
+    atlas, blas = series["ATLAS"], series["BLAS"]
+
+    # ECO vs Native: always ahead beyond the smallest size, >2x on average.
+    assert all(e > n for e, n in zip(eco[1:], native[1:]))
+    assert _avg(eco) > 2 * _avg(native)
+
+    # ECO at least competitive with ATLAS and BLAS (>= 95% on average).
+    assert _avg(eco) >= 0.95 * _avg(atlas)
+    assert _avg(eco) >= 0.95 * _avg(blas)
+
+    # Native's large-size tail decays relative to its best.
+    assert native[-1] < 0.8 * max(native)
+
+    # ATLAS's small-size points are below its large-size average
+    # (no copy below the threshold).
+    assert atlas[1] < _avg(atlas[len(atlas) // 2 :])

@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Figure 5 (Jacobi MFLOPS sweeps) on both machines.
+
+Shape claims from §4.2: ECO substantially outperforms Native on average;
+both fluctuate across sizes (ECO rejects copying for Jacobi, so conflict
+misses remain at pathological sizes — the paper's own explanation for the
+ECO dips).
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments.fig5 import run_fig5
+
+
+def _avg(xs):
+    return sum(xs) / len(xs)
+
+
+@pytest.mark.parametrize("machine", ["sgi", "sun"])
+def test_fig5(benchmark, config, machine):
+    result = run_once(benchmark, run_fig5, machine, config)
+    series = result["series"]
+    eco, native = series["ECO"], series["Native"]
+
+    # ECO above Native on average (paper: 73 vs 61 on SGI, 55 vs 47 on Sun).
+    assert _avg(eco) > 1.15 * _avg(native)
+
+    # Both fluctuate: min well below max.
+    assert min(eco) < 0.8 * max(eco)
+    assert min(native) < 0.8 * max(native)

@@ -1,0 +1,19 @@
+"""Benchmark: the full pipeline on every registered kernel.
+
+The paper's closing claim ("a step towards a general compiler algorithm")
+is exercised on matrix multiply, Jacobi, matrix-vector, a 2-D stencil and
+a four-deep 2-D convolution: ECO must beat both the untransformed kernel
+and the Native baseline on each."""
+
+from conftest import run_once
+
+from repro.experiments.generality import run_generality
+
+
+def test_generality(benchmark):
+    rows = run_once(benchmark, run_generality, "sgi")
+    assert len(rows) == 5
+    for row in rows:
+        assert row["ECO"] > row["naive"], row["kernel"]
+        assert row["ECO"] > row["Native"], row["kernel"]
+        assert row["ECO/naive"] >= 1.5, row["kernel"]

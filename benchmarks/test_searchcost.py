@@ -1,0 +1,26 @@
+"""Benchmark: regenerate §4.3 (cost of search).
+
+Shape claims: ECO's guided search visits tens of points (the paper: 44-148
+across kernels/machines), and ATLAS's orthogonal search costs a multiple
+of ECO's machine time (the paper: 2-4x)."""
+
+from conftest import run_once
+
+from repro.experiments.searchcost import run_searchcost
+
+
+def test_searchcost(benchmark, config):
+    rows = run_once(benchmark, run_searchcost, ("sgi", "sun"), config)
+    by_key = {(r["machine"], r["kernel"], r["method"]): r for r in rows}
+
+    for machine in ("sgi-r10k-mini", "ultrasparc-iie-mini"):
+        eco = by_key[(machine, "mm", "ECO")]
+        atlas = by_key[(machine, "mm", "ATLAS")]
+        jacobi = by_key[(machine, "jacobi", "ECO")]
+
+        # Tens of points, not thousands: the models prune the space.
+        assert 10 <= eco["points"] <= 200
+        assert 10 <= jacobi["points"] <= 250
+
+        # ATLAS costs a multiple of ECO's machine time.
+        assert atlas["machine_s"] > 1.5 * eco["machine_s"]

@@ -1,0 +1,48 @@
+"""Benchmark: regenerate Table 1 and check its headline claims.
+
+Paper claims encoded here (§2/§3): the fastest version is not the one
+minimizing any individual counter; mm1 has the fewest L1 misses; mm3's
+three-level tiling minimizes L2 misses; prefetching (mm5, j2/j4/j6) adds
+loads but removes cycles.
+"""
+
+from conftest import run_once
+
+from repro.experiments.table1 import run_table1
+
+
+def _by_version(rows):
+    return {r["Version"]: r for r in rows}
+
+
+def test_table1(benchmark, config):
+    rows = run_once(benchmark, run_table1, "sgi", config)
+    v = _by_version(rows)
+    mm = [v[f"mm{i}"] for i in range(1, 6)]
+    jac = [v[f"j{i}"] for i in range(1, 7)]
+
+    # mm5 (prefetch) is fastest, with the most loads, while minimizing
+    # none of the miss counters.
+    cycles = {r["Version"]: r["Cycles"] for r in mm}
+    assert min(cycles, key=cycles.get) == "mm5"
+    assert v["mm5"]["Loads"] == max(r["Loads"] for r in mm)
+    assert v["mm5"]["L1 misses"] > min(r["L1 misses"] for r in mm)
+    assert v["mm5"]["L2 misses"] > min(r["L2 misses"] for r in mm)
+    assert v["mm5"]["TLB misses"] > min(r["TLB misses"] for r in mm)
+
+    # mm1 exploits B's reuse: fewest L1 misses.
+    assert v["mm1"]["L1 misses"] == min(r["L1 misses"] for r in mm)
+    # mm3 tiles all three loops: fewest L2 misses.
+    assert v["mm3"]["L2 misses"] == min(r["L2 misses"] for r in mm)
+
+    # Jacobi: prefetching versions beat their plain twins by a wide margin,
+    # with more loads and roughly unchanged misses.
+    for plain, pref in (("j1", "j2"), ("j3", "j4"), ("j5", "j6")):
+        assert v[pref]["Cycles"] < v[plain]["Cycles"]
+        assert v[pref]["Loads"] > v[plain]["Loads"]
+        assert abs(v[pref]["L2 misses"] - v[plain]["L2 misses"]) < 0.1 * v[plain]["L2 misses"] + 1000
+
+    # j3's L1-targeted tiling cuts L2 misses vs the untiled j1; j5's
+    # L2-targeted tiling cuts them further.
+    assert v["j3"]["L2 misses"] < v["j1"]["L2 misses"]
+    assert v["j5"]["L2 misses"] < v["j3"]["L2 misses"]

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Table 4 (variant derivation on the full SGI)."""
+
+from conftest import run_once
+
+from repro.experiments.table4 import run_table4
+
+
+def test_table4(benchmark):
+    result = run_once(benchmark, run_table4, "sgi-full")
+    v1, v2 = result["paper_v1"], result["paper_v2"]
+    assert v1 is not None, "paper's v1 not derived"
+    assert v2 is not None, "paper's v2 not derived"
+
+    # v1's constraints as printed in Table 4.
+    reg = next(c for c in v1.constraints if "register" in c.label)
+    assert reg.satisfied({"UI": 4, "UJ": 8}) and not reg.satisfied({"UI": 8, "UJ": 8})
+    l1 = next(c for c in v1.constraints if "L1" in c.label)
+    assert l1.satisfied({"TJ": 32, "TK": 64}) and not l1.satisfied({"TJ": 64, "TK": 64})
+
+    # v2 tiles all three loops with both operands copied.
+    assert sorted(c.array for c in v2.copies) == ["A", "B"]
+    assert set(dict(v2.tiles)) == {"I", "J", "K"}

@@ -1,0 +1,48 @@
+"""Matrix Multiply: ECO against Native, mini-ATLAS and the vendor-BLAS
+stand-in across a range of sizes (a small Figure 4).
+
+Run:  python examples/matmul_vs_baselines.py [machine] [sizes...]
+e.g.  python examples/matmul_vs_baselines.py sun 16 32 48
+"""
+
+import sys
+
+from repro.baselines import MiniAtlas, NativeCompiler, VendorBlas
+from repro.core import EcoOptimizer
+from repro.kernels import matmul
+from repro.machines import get_machine
+
+
+def main(argv) -> None:
+    machine_name = argv[0] if argv else "sgi"
+    sizes = [int(a) for a in argv[1:]] or [16, 32, 48, 64, 80]
+    machine = get_machine(machine_name)
+    tuning_n = max(sizes[len(sizes) // 2], 16)
+    print(f"machine: {machine.describe()}")
+    print(f"tuning ECO and ATLAS at N={tuning_n}...\n")
+
+    eco = EcoOptimizer(matmul(), machine).optimize({"N": tuning_n})
+    atlas = MiniAtlas(machine)
+    atlas.tune(tuning_n)
+    native = NativeCompiler(matmul(), machine)
+    blas = VendorBlas(machine)
+
+    print(f"{'N':>5} {'ECO':>8} {'Native':>8} {'ATLAS':>8} {'BLAS':>8}   (MFLOPS)")
+    for n in sizes:
+        problem = {"N": n}
+        row = [
+            eco.measure(problem).mflops,
+            native.measure(problem).mflops,
+            atlas.measure(problem).mflops,
+            blas.measure(problem).mflops,
+        ]
+        print(f"{n:>5} " + " ".join(f"{v:8.1f}" for v in row))
+
+    print()
+    print(eco.describe())
+    print(f"ATLAS: {atlas.search_points} points "
+          f"({atlas.machine_seconds:.2f}s machine time, incl. timing reps)")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

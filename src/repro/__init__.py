@@ -1,0 +1,57 @@
+"""repro — ECO: Combining Models and Guided Empirical Search to Optimize
+for Multiple Levels of the Memory Hierarchy (CGO 2005 reproduction).
+
+Top-level convenience surface::
+
+    from repro import EcoOptimizer, get_kernel, get_machine
+
+    tuned = EcoOptimizer(get_kernel("mm"), get_machine("sgi")).optimize({"N": 48})
+    print(tuned.describe())
+    print(tuned.measure({"N": 64}).mflops)
+
+Subpackages:
+
+* :mod:`repro.ir` — loop-nest IR (expressions, loops, kernels, printer);
+* :mod:`repro.frontend` — textual kernel DSL;
+* :mod:`repro.analysis` — dependence / reuse / footprint / profitability;
+* :mod:`repro.transforms` — permute, tile, unroll-and-jam, scalar
+  replacement, copy, prefetch;
+* :mod:`repro.codegen` — C emitter, interpreter, memory layout;
+* :mod:`repro.sim` — the simulated machine (caches, TLB, timing);
+* :mod:`repro.core` — the paper's two-phase optimizer;
+* :mod:`repro.baselines` — Native / mini-ATLAS / vendor-BLAS comparators;
+* :mod:`repro.kernels` — the paper's kernels and extras;
+* :mod:`repro.experiments` — regeneration of every table and figure.
+"""
+
+from repro.baselines import MiniAtlas, NativeCompiler, VendorBlas
+from repro.core import (
+    EcoOptimizer,
+    GuidedSearch,
+    SearchConfig,
+    TunedKernel,
+    derive_variants,
+)
+from repro.kernels import get_kernel
+from repro.machines import MACHINES, MachineSpec, get_machine
+from repro.sim import Counters, execute
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EcoOptimizer",
+    "TunedKernel",
+    "GuidedSearch",
+    "SearchConfig",
+    "derive_variants",
+    "NativeCompiler",
+    "MiniAtlas",
+    "VendorBlas",
+    "get_kernel",
+    "get_machine",
+    "MACHINES",
+    "MachineSpec",
+    "Counters",
+    "execute",
+    "__version__",
+]

@@ -1,0 +1,156 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``machines`` — list the simulated machines;
+* ``variants KERNEL [--machine M]`` — phase 1: print derived variants;
+* ``tune KERNEL [--machine M] [--size N] [--emit FILE.c]`` — run both
+  phases, report the tuned configuration and optionally emit C;
+* ``run KERNEL [--machine M] [--size N]`` — execute the untransformed
+  kernel and print its counters (a quick simulator probe);
+* ``experiments [NAME ...]`` — regenerate the paper's tables/figures
+  (default: all; names: table1 table4 fig4 fig5 searchcost motivation
+  generality).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.codegen import emit_c
+from repro.core import EcoOptimizer, derive_variants
+from repro.kernels import KERNELS, get_kernel
+from repro.machines import MACHINES, get_machine
+from repro.sim import execute
+
+_EXPERIMENTS = ("table1", "table4", "fig4", "fig5", "searchcost", "motivation", "generality")
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ECO: models + guided empirical search (CGO 2005 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("machines", help="list simulated machines")
+
+    variants = sub.add_parser("variants", help="derive parameterized variants")
+    variants.add_argument("kernel", choices=sorted(KERNELS))
+    variants.add_argument("--machine", default="sgi")
+
+    tune = sub.add_parser("tune", help="run the full two-phase optimizer")
+    tune.add_argument("kernel", choices=sorted(KERNELS))
+    tune.add_argument("--machine", default="sgi")
+    tune.add_argument("--size", type=int, default=48)
+    tune.add_argument("--emit", metavar="FILE.c", default=None)
+    tune.add_argument("--explain", action="store_true",
+                      help="print the full optimization report")
+
+    run = sub.add_parser("run", help="simulate the untransformed kernel")
+    run.add_argument("kernel", choices=sorted(KERNELS))
+    run.add_argument("--machine", default="sgi")
+    run.add_argument("--size", type=int, default=32)
+
+    experiments = sub.add_parser("experiments", help="regenerate paper tables/figures")
+    experiments.add_argument("names", nargs="*", choices=[[], *_EXPERIMENTS][1:] or None,
+                             default=list(_EXPERIMENTS))
+    return parser
+
+
+def _cmd_machines() -> None:
+    for machine in MACHINES.values():
+        print(machine.describe())
+
+
+def _cmd_variants(args) -> None:
+    machine = get_machine(args.machine)
+    print(machine.describe())
+    print()
+    for variant in derive_variants(get_kernel(args.kernel), machine):
+        print(variant.describe())
+        print()
+
+
+def _problem(kernel, size: int) -> dict:
+    problem = {"N": size}
+    for param in kernel.params:
+        if param not in problem:
+            problem[param] = 3  # e.g. conv2d's filter size
+    return problem
+
+
+def _cmd_tune(args) -> None:
+    machine = get_machine(args.machine)
+    kernel = get_kernel(args.kernel)
+    tuned = EcoOptimizer(kernel, machine).optimize(_problem(kernel, args.size))
+    problem = _problem(kernel, args.size)
+    if args.explain:
+        from repro.core import explain
+
+        print(explain(tuned, problem))
+    else:
+        print(tuned.describe())
+        counters = tuned.measure(problem)
+        print(f"\nat N={args.size}: {counters.mflops:.1f} MFLOPS "
+              f"({100 * counters.mflops / machine.peak_mflops:.1f}% of peak)")
+    if args.emit:
+        source = emit_c(tuned.build(), with_main=True, main_params=_problem(kernel, args.size))
+        with open(args.emit, "w") as handle:
+            handle.write(source)
+        print(f"wrote {args.emit}")
+
+
+def _cmd_run(args) -> None:
+    machine = get_machine(args.machine)
+    kernel = get_kernel(args.kernel)
+    counters = execute(kernel, _problem(kernel, args.size), machine)
+    for key, value in counters.row().items():
+        print(f"{key:12} {value}")
+
+
+def _cmd_experiments(names: List[str]) -> None:
+    from repro.experiments import fig4, fig5, searchcost, table1, table4
+
+    for name in names:
+        if name == "table1":
+            table1.main([])
+        elif name == "table4":
+            table4.main([])
+        elif name == "fig4":
+            fig4.main(["sgi"])
+            fig4.main(["sun"])
+        elif name == "fig5":
+            fig5.main(["sgi"])
+            fig5.main(["sun"])
+        elif name == "searchcost":
+            searchcost.main([])
+        elif name == "motivation":
+            from repro.experiments import model_vs_empirical
+
+            model_vs_empirical.main(["sgi"])
+        elif name == "generality":
+            from repro.experiments import generality
+
+            generality.main(["sgi"])
+        print()
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    args = _parser().parse_args(argv)
+    if args.command == "machines":
+        _cmd_machines()
+    elif args.command == "variants":
+        _cmd_variants(args)
+    elif args.command == "tune":
+        _cmd_tune(args)
+    elif args.command == "run":
+        _cmd_run(args)
+    elif args.command == "experiments":
+        _cmd_experiments(args.names)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Compiler analyses: dependence, reuse, footprint, profitability."""
+
+from repro.analysis.dependence import (
+    Dependence,
+    compute_dependences,
+    permutation_legal,
+    tiling_legal,
+    unroll_and_jam_legal,
+)
+from repro.analysis.footprint import (
+    footprint_elems,
+    footprint_lines,
+    footprint_pages,
+    group_footprint_elems,
+    ref_extents,
+    ref_footprint_elems,
+)
+from repro.analysis.profitability import (
+    access_weights,
+    most_profitable_loops,
+    most_profitable_refs,
+)
+from repro.analysis.reuse import GroupReuse, RefReuse, ReuseSummary, analyze_reuse
+
+__all__ = [
+    "Dependence",
+    "compute_dependences",
+    "permutation_legal",
+    "tiling_legal",
+    "unroll_and_jam_legal",
+    "RefReuse",
+    "GroupReuse",
+    "ReuseSummary",
+    "analyze_reuse",
+    "ref_extents",
+    "ref_footprint_elems",
+    "group_footprint_elems",
+    "footprint_elems",
+    "footprint_lines",
+    "footprint_pages",
+    "access_weights",
+    "most_profitable_loops",
+    "most_profitable_refs",
+]

@@ -1,0 +1,136 @@
+"""Static (analytical) cache-miss estimation.
+
+The paper's premise (§1) is that "the search space is difficult to model
+analytically since performance can vary dramatically with problem size
+and optimization parameters".  This module provides the classic static
+estimator the premise refers to — compulsory plus capacity misses from
+reuse/footprint analysis, fully ignoring conflicts, alignment and
+interference — so the claim can be *quantified*: the experiment suite
+compares these predictions against simulated counters and shows exactly
+where the model holds (smooth capacity regimes) and where it breaks
+(conflict pathologies at power-of-two sizes, TLB cliffs).
+
+The model, per cache level, for a perfect nest::
+
+    misses(r) = iterations / product(R_l(r) for loops l inside the reuse
+                boundary of r at this level)
+
+where ``R_l(r)`` is the paper's reuse amount (trip count for temporal
+reuse, line size in elements for spatial reuse, 1 otherwise) and the
+*reuse boundary* is the outermost loop whose reuse the level can actually
+retain — the deepest loop whose data footprint fits the level's capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.analysis.footprint import footprint_elems
+from repro.analysis.reuse import ReuseSummary, analyze_reuse
+from repro.ir.nest import ArrayRef, Kernel, array_refs, find_loop, loop_order
+from repro.machines import CacheSpec, MachineSpec
+
+__all__ = ["MissEstimate", "estimate_misses"]
+
+
+@dataclass(frozen=True)
+class MissEstimate:
+    """Predicted misses per cache level for one kernel execution."""
+
+    per_level: Tuple[int, ...]
+    per_ref: Mapping[str, Tuple[int, ...]]
+
+    @property
+    def l1(self) -> int:
+        return self.per_level[0]
+
+    @property
+    def l2(self) -> int:
+        return self.per_level[1] if len(self.per_level) > 1 else 0
+
+
+def estimate_misses(
+    kernel: Kernel,
+    params: Mapping[str, int],
+    machine: MachineSpec,
+) -> MissEstimate:
+    """Compulsory+capacity miss prediction for the *original* kernel."""
+    loops = loop_order(kernel)
+    summary = analyze_reuse(kernel, machine.l1.line_size)
+    trip_counts = {var: _trips(kernel, var, params) for var in loops}
+
+    refs: List[Tuple[ArrayRef, int]] = []
+    seen: Dict[ArrayRef, int] = {}
+    for ref, _ in array_refs(kernel.body):
+        seen[ref] = seen.get(ref, 0) + 1
+    total_iterations = 1
+    for var in loops:
+        total_iterations *= max(1, trip_counts[var])
+
+    per_level: List[int] = []
+    per_ref: Dict[str, List[int]] = {}
+    for cache in machine.caches:
+        level_total = 0
+        for ref, uses in seen.items():
+            misses = _ref_misses(
+                kernel, summary, ref, loops, trip_counts, total_iterations,
+                cache, params,
+            )
+            level_total += misses
+            per_ref.setdefault(str(ref), []).append(misses)
+        per_level.append(level_total)
+    return MissEstimate(
+        per_level=tuple(per_level),
+        per_ref={k: tuple(v) for k, v in per_ref.items()},
+    )
+
+
+def _trips(kernel: Kernel, var: str, params: Mapping[str, int]) -> int:
+    loop = find_loop(kernel.body, var)
+    assert loop is not None
+    return max(0, loop.trip_count(params))
+
+
+def _ref_misses(
+    kernel: Kernel,
+    summary: ReuseSummary,
+    ref: ArrayRef,
+    loops: Tuple[str, ...],
+    trips: Mapping[str, int],
+    total_iterations: int,
+    cache: CacheSpec,
+    params: Mapping[str, int],
+) -> int:
+    """Misses of one reference at one level.
+
+    Walk loops from innermost out, accumulating the reuse factor while the
+    data needed to exploit that reuse still fits the cache; loops outside
+    the fit boundary contribute no reuse (their reuse distance exceeds the
+    capacity).
+    """
+    element = kernel.array(ref.array).element_size
+    capacity_elems = max(1, cache.capacity // element)
+    line_elems = max(1, cache.line_size // element)
+
+    reuse_factor = 1.0
+    inner: List[str] = []
+    for var in reversed(loops):
+        inner.append(var)
+        extents = {v: trips[v] for v in inner}
+        # Footprint of everything this reference touches across the loops
+        # seen so far; if it no longer fits, reuse carried by this and any
+        # outer loop is lost.
+        fp = int(footprint_elems(kernel, [ref], extents, loops).evaluate(params))
+        if fp > capacity_elems:
+            break
+        if ref in summary.temporal_refs(var):
+            reuse_factor *= max(1, trips[var])
+        elif ref in summary.spatial_refs(var):
+            reuse_factor *= line_elems
+    misses = int(total_iterations / max(1.0, reuse_factor))
+    # Never fewer than the compulsory misses (touch every line once).
+    extents_all = {v: trips[v] for v in loops}
+    touched = int(footprint_elems(kernel, [ref], extents_all, loops).evaluate(params))
+    compulsory = max(1, touched // line_elems)
+    return max(misses, compulsory)

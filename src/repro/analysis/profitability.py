@@ -1,0 +1,97 @@
+"""Profitability analysis (the paper's §3.1.1, last subsection).
+
+``most_profitable_loops(Loops, Refs)`` returns the loop (or loops, on a
+tie) carrying the most *unexploited* temporal reuse among the candidate
+references; ``most_profitable_refs(l, Refs)`` returns the references whose
+temporal reuse loop ``l`` carries.
+
+Temporal reuse is weighted by the number of accesses the reference makes
+per iteration (a read-plus-write reference like matrix multiply's
+``C[I,J]`` counts twice), because keeping it in a register or cache saves
+that many memory operations per reuse.
+
+When several loops tie on temporal reuse, the paper "considers spatial
+reuse, too", and its Table 4 shows that matrix multiply still produces two
+variants (L1 targeting B via loop I, or A via loop J) while Jacobi keeps
+all three loop orders.  To reproduce that behaviour, spatial reuse here
+*orders* the tied loops (most spatial reuse first, so the preferred
+variant is generated first — v1 before v2, and Jacobi's I-innermost order
+first) but does not prune them; every temporal-tied loop yields a variant.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.reuse import ReuseSummary
+from repro.ir.nest import ArrayRef, Kernel, array_refs
+
+__all__ = ["access_weights", "most_profitable_loops", "most_profitable_refs"]
+
+
+def access_weights(kernel: Kernel) -> Dict[ArrayRef, int]:
+    """Accesses per innermost iteration of each distinct reference."""
+    weights: Dict[ArrayRef, int] = {}
+    for ref, _ in array_refs(kernel.body):
+        weights[ref] = weights.get(ref, 0) + 1
+    return weights
+
+
+def _temporal_weight(
+    summary: ReuseSummary,
+    loop: str,
+    refs: Sequence[ArrayRef],
+    weights: Dict[ArrayRef, int],
+) -> int:
+    carried = summary.temporal_refs(loop)
+    return sum(weights.get(ref, 1) for ref in refs if ref in carried)
+
+
+def _spatial_weight(
+    summary: ReuseSummary,
+    loop: str,
+    refs: Sequence[ArrayRef],
+    weights: Dict[ArrayRef, int],
+) -> int:
+    carried = summary.spatial_refs(loop)
+    return sum(weights.get(ref, 1) for ref in refs if ref in carried)
+
+
+def most_profitable_loops(
+    kernel: Kernel,
+    summary: ReuseSummary,
+    loops: Sequence[str],
+    refs: Sequence[ArrayRef],
+) -> List[str]:
+    """Loops in ``loops`` carrying the most temporal reuse among ``refs``.
+
+    Returns every loop tied for the best temporal score, ordered by
+    descending spatial reuse (stable on the input order beyond that).
+    """
+    if not loops:
+        return []
+    weights = access_weights(kernel)
+    scored: List[Tuple[int, int, str]] = []
+    for loop in loops:
+        scored.append(
+            (
+                _temporal_weight(summary, loop, refs, weights),
+                _spatial_weight(summary, loop, refs, weights),
+                loop,
+            )
+        )
+    best_temporal = max(score[0] for score in scored)
+    tied = [s for s in scored if s[0] == best_temporal]
+    tied.sort(key=lambda s: -s[1])
+    return [loop for _, _, loop in tied]
+
+
+def most_profitable_refs(
+    kernel: Kernel,
+    summary: ReuseSummary,
+    loop: str,
+    refs: Sequence[ArrayRef],
+) -> List[ArrayRef]:
+    """References among ``refs`` whose temporal reuse ``loop`` carries."""
+    carried = summary.temporal_refs(loop)
+    return [ref for ref in refs if ref in carried]

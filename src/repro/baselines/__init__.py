@@ -1,0 +1,28 @@
+"""Comparison baselines and alternative searches.
+
+* :class:`NativeCompiler` — model-only platform-compiler stand-in;
+* :class:`MiniAtlas` — ATLAS-style orthogonal empirical search (mm);
+* :class:`VendorBlas` — frozen hand-tuned DGEMM per machine;
+* :class:`ModelDriven` — ECO's phase 1 with model-chosen parameters and
+  zero experiments (the Yotov et al. comparison);
+* :class:`RandomSearch`, :class:`AnnealingSearch` — unguided / lightly
+  guided searches used by the ablation benches.
+"""
+
+from repro.baselines.annealing import AnnealingResult, AnnealingSearch
+from repro.baselines.atlas import MiniAtlas
+from repro.baselines.blas import VendorBlas
+from repro.baselines.modeldriven import ModelDriven
+from repro.baselines.native import NativeCompiler
+from repro.baselines.randomsearch import RandomSearch, RandomSearchResult
+
+__all__ = [
+    "NativeCompiler",
+    "MiniAtlas",
+    "VendorBlas",
+    "ModelDriven",
+    "RandomSearch",
+    "RandomSearchResult",
+    "AnnealingSearch",
+    "AnnealingResult",
+]

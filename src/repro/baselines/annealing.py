@@ -1,0 +1,135 @@
+"""Simulated-annealing search over the variant/parameter space.
+
+The paper's related work (§5) points at AI search techniques — simulated
+annealing [Pike & Hilfinger], genetic algorithms — noting their promise
+and their cost ("little if any domain knowledge to limit the search
+space"), and anticipates combining them with ECO's models.  This module
+does that combination in the simplest form: annealing over the *derived*
+variant space (so the models still shape the space) with neighbourhood
+moves on parameters and prefetch distances.
+
+Used by the ablation suite as a third point between unguided random
+sampling and ECO's staged search.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.derive import derive_variants
+from repro.core.variants import PrefetchSite, Variant, instantiate, prefetch_sites
+from repro.ir.nest import Kernel
+from repro.machines import MachineSpec
+from repro.sim import execute
+from repro.transforms import TransformError
+
+__all__ = ["AnnealingSearch", "AnnealingResult"]
+
+
+@dataclass
+class AnnealingResult:
+    variant: Optional[Variant]
+    values: Dict[str, int]
+    prefetch: Dict[PrefetchSite, int]
+    cycles: float
+    points: int
+    accepted: int
+
+    @property
+    def found_any(self) -> bool:
+        return self.variant is not None and math.isfinite(self.cycles)
+
+
+@dataclass
+class AnnealingSearch:
+    """Classic Metropolis annealing with geometric cooling."""
+
+    kernel: Kernel
+    machine: MachineSpec
+    seed: int = 0
+    initial_temperature: float = 0.3  # relative-cycle scale
+    cooling: float = 0.92
+
+    def run(self, problem: Mapping[str, int], budget: int) -> AnnealingResult:
+        rng = random.Random(self.seed)
+        variants = derive_variants(self.kernel, self.machine, max_variants=20)
+        state = self._initial_state(rng, variants)
+        state_cycles = self._measure(state, problem)
+        best = (state_cycles, state)
+        temperature = self.initial_temperature
+        points = 1
+        accepted = 0
+        while points < budget:
+            candidate = self._neighbour(rng, variants, state)
+            cycles = self._measure(candidate, problem)
+            points += 1
+            if self._accept(rng, state_cycles, cycles, temperature):
+                state, state_cycles = candidate, cycles
+                accepted += 1
+                if cycles < best[0]:
+                    best = (cycles, candidate)
+            temperature *= self.cooling
+        cycles, (variant, values, prefetch) = best
+        if not math.isfinite(cycles):
+            return AnnealingResult(None, {}, {}, math.inf, points, accepted)
+        return AnnealingResult(variant, values, prefetch, cycles, points, accepted)
+
+    # ------------------------------------------------------------------
+    def _initial_state(self, rng, variants):
+        variant = variants[0]
+        values = {}
+        for _, param in variant.tiles:
+            values[param] = 8
+        for _, param in variant.unrolls:
+            values[param] = 2
+        return (variant, values, {})
+
+    def _neighbour(self, rng, variants, state):
+        variant, values, prefetch = state
+        move = rng.random()
+        if move < 0.15:
+            # Jump to a different variant, carrying shared parameters over.
+            new_variant = rng.choice(variants)
+            new_values = {}
+            for _, param in new_variant.tiles:
+                new_values[param] = values.get(param, 8)
+            for _, param in new_variant.unrolls:
+                new_values[param] = values.get(param, 2)
+            return (new_variant, new_values, {})
+        values = dict(values)
+        prefetch = dict(prefetch)
+        if move < 0.85 and values:
+            param = rng.choice(sorted(values))
+            factor = rng.choice((0.5, 2.0))
+            values[param] = max(1, int(values[param] * factor))
+        else:
+            sites = prefetch_sites(self.kernel, variant)
+            if sites:
+                site = rng.choice(sites)
+                if site in prefetch and rng.random() < 0.5:
+                    del prefetch[site]
+                else:
+                    prefetch[site] = rng.choice((1, 2, 4, 8))
+        return (variant, values, prefetch)
+
+    def _measure(self, state, problem) -> float:
+        variant, values, prefetch = state
+        full = {**values, **dict(problem)}
+        if not variant.feasible(full):
+            return math.inf
+        try:
+            inst = instantiate(self.kernel, variant, values, self.machine, prefetch)
+            return execute(inst, dict(problem), self.machine).cycles
+        except TransformError:
+            return math.inf
+
+    def _accept(self, rng, current: float, candidate: float, temperature: float) -> bool:
+        if candidate <= current:
+            return True
+        if not math.isfinite(candidate) or not math.isfinite(current):
+            return False
+        relative = (candidate - current) / current
+        return rng.random() < math.exp(-relative / max(1e-9, temperature))

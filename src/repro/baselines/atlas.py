@@ -1,0 +1,210 @@
+"""Mini-ATLAS baseline: pure orthogonal empirical search for Matrix Multiply.
+
+ATLAS [Whaley, Petitet & Dongarra 2001] generates matrix multiply from a
+fixed code skeleton — NB×NB×NB cache blocking with the operand tiles
+copied to contiguous buffers, MU×NU register blocking — and tunes the
+parameters by *pure empirical search* over a parameter grid, one
+parameter axis at a time, with no model pruning beyond hard register
+limits.  This module reproduces that behaviour on the simulator:
+
+* fixed skeleton: ``J, I, K`` point order, all three loops blocked by a
+  single ``NB``, A and B tiles copied (ATLAS's "copy" matmul), registers
+  blocked ``MU x NU``;
+* like real ATLAS (and as the paper observes in Figure 4's small sizes),
+  the copy kernel is only used when the problem is large enough to
+  amortize the copy — below the threshold the no-copy skeleton runs and
+  performance fluctuates with the leading dimension;
+* orthogonal search: sweep NB on a fixed register block, then the
+  (MU, NU) grid, then re-sweep NB, then the prefetch distance axis.  The
+  number of points is therefore a multiple of ECO's guided search — the
+  paper's §4.3 reports ATLAS taking 2-4x longer to tune.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.variants import (
+    Constraint,
+    CopyPlan,
+    LevelPlan,
+    PrefetchSite,
+    Variant,
+    instantiate,
+)
+from repro.ir.expr import Const, Var
+from repro.ir.nest import Kernel
+from repro.kernels import matmul
+from repro.machines import MachineSpec
+from repro.sim import Counters, execute
+from repro.transforms import TransformError
+
+__all__ = ["MiniAtlas"]
+
+
+def _skeleton(with_copy: bool) -> Variant:
+    """The fixed ATLAS matmul recipe as a Variant (single NB parameter)."""
+    tiles = (("I", "NB"), ("J", "NB"), ("K", "NB"))
+    copies: Tuple[CopyPlan, ...] = ()
+    if with_copy:
+        copies = (
+            CopyPlan(array="A", temp="Q", dims=((0, "I"), (1, "K")), level=1),
+            CopyPlan(array="B", temp="P", dims=((0, "K"), (1, "J")), level=1),
+        )
+    reg_fp = Var("MU") * Var("NU")
+    return Variant(
+        name="atlas-copy" if with_copy else "atlas-nocopy",
+        kernel_name="mm",
+        point_order=("J", "I", "K"),
+        control_order=("K", "J", "I"),
+        tiles=tiles,
+        unrolls=(("I", "MU"), ("J", "NU"), ("K", "KU")),
+        register_loop="K",
+        copies=copies,
+        levels=(
+            LevelPlan("Reg", "K", (), "MU x NU register block, KU K-unroll", ("MU", "NU", "KU")),
+            LevelPlan("L1", "I", (), "NB blocking" + (", copy A,B" if with_copy else ""), ("NB",)),
+        ),
+        constraints=(
+            Constraint(reg_fp, Const(32), "MU*NU <= 32 (registers)"),
+        ),
+    )
+
+
+@dataclass
+class MiniAtlas:
+    """ATLAS-style self-tuning matrix multiply."""
+
+    machine: MachineSpec
+    copy_threshold_elems: Optional[int] = None  # default: L1-sized matrices
+    #: ATLAS times each candidate several times and keeps the minimum,
+    #: because real timers are noisy.  The simulator is deterministic, so
+    #: the repetitions are charged to the machine-time account rather than
+    #: re-simulated.
+    timing_reps: int = 3
+
+    def __post_init__(self) -> None:
+        self.kernel = matmul()
+        self._tuned: Optional[Dict[str, int]] = None
+        self._prefetch_distance = 0
+        self.search_points = 0
+        self.search_seconds = 0.0
+        self.machine_seconds = 0.0
+        self._cache: Dict[Tuple, float] = {}
+        if self.copy_threshold_elems is None:
+            # Copy once the three matrices stop fitting in L1 together.
+            self.copy_threshold_elems = self.machine.l1.capacity // 8
+
+    @property
+    def name(self) -> str:
+        return "ATLAS"
+
+    # -- search grids -------------------------------------------------------
+    # ATLAS sweeps parameter axes exhaustively, with no model to prune them:
+    # NB in steps of 2 lines' worth, every legal (MU, NU) register block,
+    # the K-unroll axis and the prefetch-distance axis, and it re-sweeps NB
+    # after the register block is chosen.  That breadth (vs ECO's pruned,
+    # staged walk) is what makes its tuning take several times longer
+    # (paper §4.3).
+    def _nb_grid(self, tuning_n: int) -> List[int]:
+        l1_elems = self.machine.l1.capacity // 8
+        max_nb = min(int(math.sqrt(l1_elems)) * 2, tuning_n)
+        return [nb for nb in range(4, max_nb + 1, 2)] or [4]
+
+    def _register_grid(self) -> List[Tuple[int, int]]:
+        grid = []
+        for mu in (1, 2, 3, 4, 5, 6, 8):
+            for nu in (1, 2, 3, 4, 5, 6, 8):
+                if mu * nu <= 32:
+                    grid.append((mu, nu))
+        return grid
+
+    _KU_GRID = (1, 2, 4, 8)
+
+    # -- measurement -------------------------------------------------------
+    def _measure_point(
+        self, values: Dict[str, int], tuning_n: int, prefetch_distance: int
+    ) -> float:
+        key = (tuple(sorted(values.items())), tuning_n, prefetch_distance)
+        if key in self._cache:
+            return self._cache[key]
+        counters = self._run(values, {"N": tuning_n}, prefetch_distance)
+        cycles = counters.cycles
+        self.search_points += 1
+        self.machine_seconds += self.timing_reps * counters.seconds
+        self._cache[key] = cycles
+        return cycles
+
+    def _run(
+        self, values: Dict[str, int], problem: Mapping[str, int], prefetch_distance: int
+    ) -> Counters:
+        n = int(problem["N"])
+        with_copy = n * n >= self.copy_threshold_elems
+        variant = _skeleton(with_copy)
+        prefetch: Dict[PrefetchSite, int] = {}
+        if prefetch_distance > 0:
+            target = "P" if with_copy else "B"
+            prefetch[PrefetchSite(target, "K")] = prefetch_distance
+            prefetch[PrefetchSite("Q" if with_copy else "A", "K")] = prefetch_distance
+        try:
+            inst = instantiate(self.kernel, variant, values, self.machine, prefetch)
+        except TransformError:
+            inst = instantiate(
+                self.kernel, _skeleton(False), values, self.machine, prefetch
+            )
+        return execute(inst, problem, self.machine)
+
+    # -- tuning -------------------------------------------------------------
+    def tune(self, tuning_n: int) -> Dict[str, int]:
+        """Orthogonal line search over NB, (MU,NU), NB again, prefetch."""
+        start = time.perf_counter()
+        values = {"NB": 16, "MU": 4, "NU": 4, "KU": 1}
+
+        def sweep_nb() -> None:
+            best_nb, best = values["NB"], math.inf
+            for nb in self._nb_grid(tuning_n):
+                cycles = self._measure_point({**values, "NB": nb}, tuning_n, 0)
+                if cycles < best:
+                    best_nb, best = nb, cycles
+            values["NB"] = best_nb
+
+        def sweep_registers() -> None:
+            best_reg, best = (values["MU"], values["NU"]), math.inf
+            for mu, nu in self._register_grid():
+                cycles = self._measure_point(
+                    {**values, "MU": mu, "NU": nu}, tuning_n, 0
+                )
+                if cycles < best:
+                    best_reg, best = (mu, nu), cycles
+            values["MU"], values["NU"] = best_reg
+
+        sweep_nb()
+        sweep_registers()
+        # K-unroll axis.
+        best_ku, best = values["KU"], math.inf
+        for ku in self._KU_GRID:
+            cycles = self._measure_point({**values, "KU": ku}, tuning_n, 0)
+            if cycles < best:
+                best_ku, best = ku, cycles
+        values["KU"] = best_ku
+        sweep_nb()
+        sweep_registers()
+        # Prefetch axis.
+        base = self._measure_point(values, tuning_n, 0)
+        best_distance, best = 0, base
+        for distance in (1, 2, 4, 8):
+            cycles = self._measure_point(values, tuning_n, distance)
+            if cycles < best:
+                best_distance, best = distance, cycles
+        self._prefetch_distance = best_distance
+        self._tuned = values
+        self.search_seconds += time.perf_counter() - start
+        return dict(values)
+
+    def measure(self, problem: Mapping[str, int]) -> Counters:
+        if self._tuned is None:
+            raise RuntimeError("call tune() before measure()")
+        return self._run(self._tuned, problem, self._prefetch_distance)

@@ -1,0 +1,103 @@
+"""Vendor-BLAS stand-in: a hand-tuned, frozen matrix multiply per machine.
+
+The paper compares against SGI's SCSL and Sun's SunPerf — libraries whose
+DGEMM was tuned by hand, once, by the vendor ("a manual empirical search
+... on the order of days of a programmer's time").  The stand-in captures
+that: a fixed v2-style implementation (three-level blocking, both operand
+tiles copied, register blocking, prefetch) whose parameters were chosen
+offline per machine and are **not** adapted to the problem size — which is
+also why, like the real libraries in Figure 4, it has no mechanism to
+react to pathological sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.core.variants import (
+    Constraint,
+    CopyPlan,
+    LevelPlan,
+    PrefetchSite,
+    Variant,
+    instantiate,
+)
+from repro.ir.expr import Const, Var
+from repro.kernels import matmul
+from repro.machines import MachineSpec
+from repro.sim import Counters, execute
+
+__all__ = ["VendorBlas"]
+
+#: Hand-tuned parameters per machine (chosen offline on the simulator, the
+#: way a vendor tunes once per chip).
+_TUNED: Dict[str, Dict[str, int]] = {
+    "sgi-r10k": {"TI": 64, "TJ": 256, "TK": 128, "UI": 4, "UJ": 4},
+    "ultrasparc-iie": {"TI": 64, "TJ": 128, "TK": 64, "UI": 4, "UJ": 4},
+    "sgi-r10k-mini": {"TI": 16, "TJ": 64, "TK": 32, "UI": 4, "UJ": 4},
+    "ultrasparc-iie-mini": {"TI": 16, "TJ": 64, "TK": 32, "UI": 4, "UJ": 4},
+}
+
+_PREFETCH_DISTANCE = 2
+
+
+def _dgemm_variant() -> Variant:
+    """The frozen v2-style recipe (Figure 1(c))."""
+    return Variant(
+        name="vendor-dgemm",
+        kernel_name="mm",
+        point_order=("J", "I", "K"),
+        control_order=("K", "J", "I"),
+        tiles=(("I", "TI"), ("J", "TJ"), ("K", "TK")),
+        unrolls=(("I", "UI"), ("J", "UJ")),
+        register_loop="K",
+        copies=(
+            CopyPlan(array="B", temp="P", dims=((0, "K"), (1, "J")), level=2),
+            CopyPlan(array="A", temp="Q", dims=((0, "I"), (1, "K")), level=1),
+        ),
+        levels=(
+            LevelPlan("Reg", "K", (), "unroll-and-jam I and J", ("UI", "UJ")),
+            LevelPlan("L1", "J", (), "tile I and K, copy A", ("TI", "TK")),
+            LevelPlan("L2", "I", (), "tile J and K, copy B", ("TJ", "TK")),
+        ),
+        constraints=(
+            Constraint(Var("UI") * Var("UJ"), Const(32), "UI*UJ <= 32"),
+        ),
+    )
+
+
+@dataclass
+class VendorBlas:
+    """Frozen hand-tuned DGEMM for one machine."""
+
+    machine: MachineSpec
+
+    @property
+    def name(self) -> str:
+        return "Vendor BLAS"
+
+    @property
+    def search_points(self) -> int:
+        return 0  # tuned offline, once, by hand
+
+    def parameters(self) -> Dict[str, int]:
+        try:
+            return dict(_TUNED[self.machine.name])
+        except KeyError:
+            raise KeyError(
+                f"no hand-tuned DGEMM for machine {self.machine.name!r}; "
+                f"known: {sorted(_TUNED)}"
+            ) from None
+
+    def measure(self, problem: Mapping[str, int]) -> Counters:
+        values = self.parameters()
+        prefetch = {
+            PrefetchSite("P", "K"): _PREFETCH_DISTANCE,
+            PrefetchSite("Q", "K"): _PREFETCH_DISTANCE,
+            # Hand-tuned codes also prefetch inside the copy loops.
+            PrefetchSite("B", "cK"): 2 * _PREFETCH_DISTANCE,
+            PrefetchSite("A", "cI"): 2 * _PREFETCH_DISTANCE,
+        }
+        inst = instantiate(matmul(), _dgemm_variant(), values, self.machine, prefetch)
+        return execute(inst, problem, self.machine)

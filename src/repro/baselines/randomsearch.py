@@ -1,0 +1,106 @@
+"""Unguided random search: the paper's thesis, quantified.
+
+The paper argues (§1, §5) that purely empirical search "is not practical
+... because the search space of possible variants and their parameters is
+prohibitively large", and that AI-style searches "incorporate little if
+any domain knowledge to limit the search space".  This baseline samples
+the same implementation space ECO searches — a random derived variant,
+random power-of-two parameters, a random prefetch distance — but with *no
+models*: no constraint pruning (infeasible samples waste experiments the
+way a crashing or register-spilling build wastes a compile-and-run), no
+staging, no initial heuristic.
+
+Used by the ablation benchmarks: at ECO's experiment budget, random
+search reaches a (usually much) worse best point.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.derive import derive_variants
+from repro.core.variants import PrefetchSite, Variant, instantiate, prefetch_sites
+from repro.ir.nest import Kernel
+from repro.machines import MachineSpec
+from repro.sim import Counters, execute
+from repro.transforms import TransformError
+
+__all__ = ["RandomSearch", "RandomSearchResult"]
+
+_POW2_TILES = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+_UNROLLS = (1, 2, 3, 4, 6, 8, 12, 16)
+_DISTANCES = (0, 1, 2, 4, 8)
+
+
+@dataclass
+class RandomSearchResult:
+    """Best point found within the budget."""
+
+    variant: Optional[Variant]
+    values: Dict[str, int]
+    prefetch: Dict[PrefetchSite, int]
+    cycles: float
+    points: int
+    wasted: int  # infeasible / failing samples that consumed budget
+
+    @property
+    def found_any(self) -> bool:
+        return self.variant is not None and math.isfinite(self.cycles)
+
+
+@dataclass
+class RandomSearch:
+    """Budgeted uniform sampling over the untamed implementation space."""
+
+    kernel: Kernel
+    machine: MachineSpec
+    seed: int = 0
+
+    def run(self, problem: Mapping[str, int], budget: int) -> RandomSearchResult:
+        rng = random.Random(self.seed)
+        variants = derive_variants(self.kernel, self.machine, max_variants=20)
+        best: Tuple[float, Optional[Variant], Dict[str, int], Dict[PrefetchSite, int]]
+        best = (math.inf, None, {}, {})
+        wasted = 0
+        seen = set()
+        for _ in range(budget):
+            variant = rng.choice(variants)
+            values: Dict[str, int] = {}
+            for _, param in variant.tiles:
+                values[param] = rng.choice(_POW2_TILES)
+            for _, param in variant.unrolls:
+                values[param] = rng.choice(_UNROLLS)
+            prefetch: Dict[PrefetchSite, int] = {}
+            for site in prefetch_sites(self.kernel, variant):
+                distance = rng.choice(_DISTANCES)
+                if distance:
+                    prefetch[site] = distance
+            key = (
+                variant.name,
+                tuple(sorted(values.items())),
+                tuple(sorted((s.array, s.loop, d) for s, d in prefetch.items())),
+            )
+            if key in seen:
+                wasted += 1  # resampled a point: budget spent, nothing learned
+                continue
+            seen.add(key)
+            try:
+                inst = instantiate(self.kernel, variant, values, self.machine, prefetch)
+                counters = execute(inst, dict(problem), self.machine)
+            except (TransformError, MemoryError):
+                wasted += 1
+                continue
+            if counters.cycles < best[0]:
+                best = (counters.cycles, variant, dict(values), dict(prefetch))
+        cycles, variant, values, prefetch = best
+        return RandomSearchResult(
+            variant=variant,
+            values=values,
+            prefetch=prefetch,
+            cycles=cycles,
+            points=budget,
+            wasted=wasted,
+        )

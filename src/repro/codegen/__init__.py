@@ -1,0 +1,16 @@
+"""Code generation: C emission, memory layout and the reference interpreter."""
+
+from repro.codegen.c_emitter import c_identifier, emit_c, emit_expr
+from repro.codegen.interp import InterpreterError, allocate_arrays, run_kernel
+from repro.codegen.layout import ArrayLayout, MemoryLayout
+
+__all__ = [
+    "emit_c",
+    "emit_expr",
+    "c_identifier",
+    "allocate_arrays",
+    "run_kernel",
+    "InterpreterError",
+    "ArrayLayout",
+    "MemoryLayout",
+]

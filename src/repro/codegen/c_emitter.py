@@ -1,0 +1,263 @@
+"""C code emission.
+
+The practical artifact of the paper's system is a source-to-source
+optimizer: SUIF emitted transformed Fortran that the native compiler then
+built.  Here every (original or transformed) kernel can be emitted as a
+self-contained C translation unit:
+
+* arrays are passed as ``double *restrict`` parameters, indexed through
+  per-array column-major macros (1-based subscripts, matching the IR);
+* compiler temporaries (copy buffers) are stack/VLA arrays;
+* scalar temporaries from scalar replacement become ``double`` locals;
+* ``PREFETCH`` lowers to ``__builtin_prefetch``;
+* ``min``/``max``/floor-division in loop bounds lower to helper macros
+  that are exact for the full integer range.
+
+``emit_c(..., with_main=True)`` additionally emits a standalone driver
+that allocates and initializes the arrays, runs the kernel, and prints a
+checksum — useful for validating the emitted code against the interpreter
+with a real C compiler.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.ir.expr import (
+    Add,
+    Const,
+    Expr,
+    FloorDiv,
+    Max,
+    Min,
+    Mod,
+    Mul,
+    Var,
+)
+from repro.ir.nest import (
+    ArrayDecl,
+    ArrayRef,
+    Assign,
+    CBin,
+    CExpr,
+    CNum,
+    CRead,
+    CVar,
+    Kernel,
+    Loop,
+    Node,
+    Prefetch,
+    walk_statements,
+)
+
+__all__ = ["emit_c", "emit_expr", "c_identifier"]
+
+_PRELUDE = """\
+#include <stddef.h>
+#include <stdio.h>
+#include <stdlib.h>
+
+#define REPRO_MIN(a, b) ((a) < (b) ? (a) : (b))
+#define REPRO_MAX(a, b) ((a) > (b) ? (a) : (b))
+/* Floor division, exact for negative numerators (divisor > 0). */
+#define REPRO_FDIV(a, b) ((a) >= 0 ? (a) / (b) : -((-(a) + (b) - 1) / (b)))
+#define REPRO_MOD(a, b) ((a) - REPRO_FDIV(a, b) * (b))
+
+#ifndef __GNUC__
+#define __builtin_prefetch(addr)
+#endif
+"""
+
+
+def c_identifier(name: str) -> str:
+    """Sanitize a name into a C identifier."""
+    clean = re.sub(r"\W", "_", name)
+    if not clean or clean[0].isdigit():
+        clean = "_" + clean
+    return clean
+
+
+def emit_expr(expr: Expr) -> str:
+    """Render an index expression as C source (operates on ``long``)."""
+    if isinstance(expr, Const):
+        return str(expr.value)
+    if isinstance(expr, Var):
+        return c_identifier(expr.name)
+    if isinstance(expr, Add):
+        parts = [emit_expr(t) for t in expr.terms]
+        out = parts[0]
+        for part in parts[1:]:
+            out += " + " + part
+        return "(" + out + ")"
+    if isinstance(expr, Mul):
+        return "(" + " * ".join(emit_expr(f) for f in expr.factors) + ")"
+    if isinstance(expr, Min):
+        out = emit_expr(expr.args[0])
+        for arg in expr.args[1:]:
+            out = f"REPRO_MIN({out}, {emit_expr(arg)})"
+        return out
+    if isinstance(expr, Max):
+        out = emit_expr(expr.args[0])
+        for arg in expr.args[1:]:
+            out = f"REPRO_MAX({out}, {emit_expr(arg)})"
+        return out
+    if isinstance(expr, FloorDiv):
+        return f"REPRO_FDIV({emit_expr(expr.numerator)}, {emit_expr(expr.denominator)})"
+    if isinstance(expr, Mod):
+        return f"REPRO_MOD({emit_expr(expr.value)}, {emit_expr(expr.modulus)})"
+    raise TypeError(f"cannot emit {expr!r}")
+
+
+class _Emitter:
+    def __init__(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+        self.lines: List[str] = []
+        self.indent = 0
+
+    def line(self, text: str = "") -> None:
+        self.lines.append(("    " * self.indent + text) if text else "")
+
+    # -- references ------------------------------------------------------
+    def ref(self, ref: ArrayRef) -> str:
+        decl = self.kernel.array(ref.array)
+        name = c_identifier(ref.array)
+        terms = []
+        stride: Optional[Expr] = None
+        for d, index in enumerate(ref.indices):
+            idx = f"({emit_expr(index)} - 1)"
+            if d == 0:
+                terms.append(idx)
+            else:
+                terms.append(f"{idx} * (size_t)({emit_expr(stride)})")
+            stride = decl.shape[d] if stride is None else stride * decl.shape[d]
+        return f"{name}[{' + '.join(terms)}]"
+
+    def cexpr(self, expr: CExpr) -> str:
+        if isinstance(expr, CNum):
+            return repr(expr.value)
+        if isinstance(expr, CVar):
+            return c_identifier(expr.name)
+        if isinstance(expr, CRead):
+            return self.ref(expr.ref)
+        if isinstance(expr, CBin):
+            return f"({self.cexpr(expr.left)} {expr.op} {self.cexpr(expr.right)})"
+        raise TypeError(f"cannot emit {expr!r}")
+
+    # -- statements and loops ---------------------------------------------
+    def node(self, node: Node) -> None:
+        if isinstance(node, Loop):
+            var = c_identifier(node.var)
+            lower = emit_expr(node.lower)
+            upper = emit_expr(node.upper)
+            cmp = "<=" if node.step > 0 else ">="
+            role = f"  /* {node.role} */" if node.role != "compute" else ""
+            self.line(
+                f"for (long {var} = {lower}; {var} {cmp} {upper}; "
+                f"{var} += {node.step}) {{{role}"
+            )
+            self.indent += 1
+            for child in node.body:
+                self.node(child)
+            self.indent -= 1
+            self.line("}")
+        elif isinstance(node, Prefetch):
+            self.line(f"__builtin_prefetch(&{self.ref(node.ref)});")
+        elif isinstance(node, Assign):
+            if isinstance(node.target, ArrayRef):
+                target = self.ref(node.target)
+            else:
+                target = c_identifier(node.target)
+            self.line(f"{target} = {self.cexpr(node.value)};")
+        else:
+            raise TypeError(f"cannot emit node {node!r}")
+
+
+def _scalar_names(kernel: Kernel) -> List[str]:
+    names: List[str] = []
+    for stmt in walk_statements(kernel.body):
+        if isinstance(stmt, Assign) and isinstance(stmt.target, str):
+            if stmt.target not in names:
+                names.append(stmt.target)
+    return names
+
+
+def emit_c(
+    kernel: Kernel,
+    func_name: Optional[str] = None,
+    with_main: bool = False,
+    main_params: Optional[Mapping[str, int]] = None,
+    main_consts: Optional[Mapping[str, float]] = None,
+) -> str:
+    """Emit ``kernel`` as a C translation unit.
+
+    The kernel function takes the size parameters (``long``), the named
+    floating-point constants (``double``) and one ``double *restrict``
+    per non-temporary array, in declaration order.
+    """
+    func = c_identifier(func_name or f"kernel_{kernel.name}")
+    emitter = _Emitter(kernel)
+
+    params = [f"long {c_identifier(p)}" for p in kernel.params]
+    params += [f"double {c_identifier(c)}" for c in kernel.consts]
+    user_arrays = [decl for decl in kernel.arrays if not decl.temp]
+    temp_arrays = [decl for decl in kernel.arrays if decl.temp]
+    params += [f"double *restrict {c_identifier(a.name)}" for a in user_arrays]
+
+    emitter.line(f"void {func}({', '.join(params)})")
+    emitter.line("{")
+    emitter.indent += 1
+    for decl in temp_arrays:
+        size = emit_expr(decl.size_expr())
+        emitter.line(f"double {c_identifier(decl.name)}[{size}];  /* copy buffer */")
+    scalars = _scalar_names(kernel)
+    if scalars:
+        emitter.line("double " + ", ".join(c_identifier(s) for s in scalars) + ";")
+    for node in kernel.body:
+        emitter.node(node)
+    emitter.indent -= 1
+    emitter.line("}")
+
+    parts = [f"/* Generated by repro (ECO) from kernel '{kernel.name}'. */", _PRELUDE]
+    parts.append("\n".join(emitter.lines))
+    if with_main:
+        parts.append(_emit_main(kernel, func, main_params or {}, main_consts or {}))
+    return "\n".join(parts) + "\n"
+
+
+def _emit_main(
+    kernel: Kernel,
+    func: str,
+    params: Mapping[str, int],
+    consts: Mapping[str, float],
+) -> str:
+    lines: List[str] = ["int main(void)", "{"]
+    for p in kernel.params:
+        value = params.get(p, 64)
+        lines.append(f"    long {c_identifier(p)} = {value};")
+    for c in kernel.consts:
+        value = consts.get(c, 0.5)
+        lines.append(f"    double {c_identifier(c)} = {value};")
+    user_arrays = [decl for decl in kernel.arrays if not decl.temp]
+    for decl in user_arrays:
+        name = c_identifier(decl.name)
+        size = emit_expr(decl.size_expr())
+        lines.append(f"    double *{name} = malloc(sizeof(double) * (size_t)({size}));")
+        lines.append(f"    for (size_t i = 0; i < (size_t)({size}); i++)")
+        lines.append(f"        {name}[i] = (double)((i * 2654435761u) % 1000) / 1000.0;")
+    args = [c_identifier(p) for p in kernel.params]
+    args += [c_identifier(c) for c in kernel.consts]
+    args += [c_identifier(a.name) for a in user_arrays]
+    lines.append(f"    {func}({', '.join(args)});")
+    lines.append("    double checksum = 0.0;")
+    for decl in user_arrays:
+        name = c_identifier(decl.name)
+        size = emit_expr(decl.size_expr())
+        lines.append(f"    for (size_t i = 0; i < (size_t)({size}); i++)")
+        lines.append(f"        checksum += {name}[i];")
+    lines.append('    printf("checksum %.6f\\n", checksum);')
+    for decl in user_arrays:
+        lines.append(f"    free({c_identifier(decl.name)});")
+    lines.append("    return 0;")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,165 @@
+"""Reference interpreter for the loop-nest IR.
+
+The interpreter executes a kernel directly over numpy arrays.  It is the
+*semantics oracle* of the framework: every code transformation is verified
+by checking that the transformed kernel computes bit-identical results to
+the original under this interpreter (see ``tests/transforms``).
+
+Arrays are column-major (``order='F'``) and subscripts are 1-based, matching
+the IR's Fortran-style conventions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.ir.nest import (
+    ArrayRef,
+    Assign,
+    CBin,
+    CExpr,
+    CNum,
+    CRead,
+    CVar,
+    Kernel,
+    Loop,
+    Node,
+    Prefetch,
+)
+
+__all__ = ["allocate_arrays", "run_kernel", "InterpreterError"]
+
+
+class InterpreterError(RuntimeError):
+    """Raised on out-of-bounds accesses or unbound names during execution."""
+
+
+def allocate_arrays(
+    kernel: Kernel,
+    params: Mapping[str, int],
+    seed: int = 0,
+    include_temps: bool = False,
+) -> Dict[str, np.ndarray]:
+    """Allocate the kernel's arrays, filled with reproducible random data.
+
+    Compiler-introduced temporaries (``temp=True``) are excluded unless
+    ``include_temps`` is set; :func:`run_kernel` allocates any missing
+    temporaries itself (zero-filled).
+    """
+    rng = np.random.default_rng(seed)
+    storage: Dict[str, np.ndarray] = {}
+    for decl in kernel.arrays:
+        if decl.temp and not include_temps:
+            continue
+        shape = tuple(int(dim.evaluate(params)) for dim in decl.shape)
+        storage[decl.name] = np.asfortranarray(rng.standard_normal(shape))
+    return storage
+
+
+def run_kernel(
+    kernel: Kernel,
+    params: Mapping[str, int],
+    arrays: Mapping[str, np.ndarray],
+    consts: Optional[Mapping[str, float]] = None,
+) -> Dict[str, np.ndarray]:
+    """Execute ``kernel`` in place over copies of ``arrays``; return them.
+
+    ``params`` binds the kernel's symbolic sizes; ``consts`` binds its named
+    floating-point constants.  Temporaries declared by the kernel but absent
+    from ``arrays`` are allocated zero-filled.
+    """
+    consts = dict(consts or {})
+    missing_consts = set(kernel.consts) - set(consts)
+    if missing_consts:
+        raise InterpreterError(f"constants not bound: {sorted(missing_consts)}")
+
+    storage: Dict[str, np.ndarray] = {}
+    for decl in kernel.arrays:
+        if decl.name in arrays:
+            storage[decl.name] = np.array(arrays[decl.name], order="F", copy=True)
+            expected = tuple(int(dim.evaluate(params)) for dim in decl.shape)
+            if storage[decl.name].shape != expected:
+                raise InterpreterError(
+                    f"array {decl.name}: got shape {storage[decl.name].shape}, "
+                    f"declared {expected}"
+                )
+        elif decl.temp:
+            shape = tuple(int(dim.evaluate(params)) for dim in decl.shape)
+            storage[decl.name] = np.zeros(shape, order="F")
+        else:
+            raise InterpreterError(f"input array {decl.name!r} not provided")
+
+    env: Dict[str, int] = dict(params)
+    scalars: Dict[str, float] = dict(consts)
+    _exec_nodes(kernel.body, env, scalars, storage)
+    return storage
+
+
+def _index_tuple(
+    ref: ArrayRef, env: Mapping[str, int], storage: Mapping[str, np.ndarray]
+) -> Tuple[int, ...]:
+    array = storage[ref.array]
+    idx = tuple(int(expr.evaluate(env)) - 1 for expr in ref.indices)
+    for axis, (i, extent) in enumerate(zip(idx, array.shape)):
+        if not 0 <= i < extent:
+            raise InterpreterError(
+                f"{ref} out of bounds on axis {axis}: index {i + 1} of {extent} "
+                f"(env {dict(env)})"
+            )
+    return idx
+
+
+def _eval_cexpr(
+    expr: CExpr,
+    env: Mapping[str, int],
+    scalars: Mapping[str, float],
+    storage: Mapping[str, np.ndarray],
+) -> float:
+    if isinstance(expr, CNum):
+        return expr.value
+    if isinstance(expr, CVar):
+        try:
+            return scalars[expr.name]
+        except KeyError:
+            raise InterpreterError(f"scalar {expr.name!r} read before assignment") from None
+    if isinstance(expr, CRead):
+        return float(storage[expr.ref.array][_index_tuple(expr.ref, env, storage)])
+    if isinstance(expr, CBin):
+        left = _eval_cexpr(expr.left, env, scalars, storage)
+        right = _eval_cexpr(expr.right, env, scalars, storage)
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            return left * right
+        return left / right
+    raise InterpreterError(f"cannot evaluate {expr!r}")
+
+
+def _exec_nodes(
+    nodes: Tuple[Node, ...],
+    env: Dict[str, int],
+    scalars: Dict[str, float],
+    storage: Dict[str, np.ndarray],
+) -> None:
+    for node in nodes:
+        if isinstance(node, Loop):
+            lower = int(node.lower.evaluate(env))
+            upper = int(node.upper.evaluate(env))
+            for value in range(lower, upper + (1 if node.step > 0 else -1), node.step):
+                env[node.var] = value
+                _exec_nodes(node.body, env, scalars, storage)
+            env.pop(node.var, None)
+        elif isinstance(node, Prefetch):
+            continue
+        elif isinstance(node, Assign):
+            value = _eval_cexpr(node.value, env, scalars, storage)
+            if isinstance(node.target, ArrayRef):
+                storage[node.target.array][_index_tuple(node.target, env, storage)] = value
+            else:
+                scalars[node.target] = value
+        else:
+            raise InterpreterError(f"cannot execute node {node!r}")

@@ -1,0 +1,460 @@
+"""Phase 2: model-guided empirical search (the paper's §3.2).
+
+For each variant from phase 1 the search
+
+1. groups tiling parameters into **stages** (one per memory level; levels
+   sharing a parameter — mm's ``TK`` touches both L1 and L2 — merge into
+   one stage, exactly as the paper prescribes);
+2. seeds each stage with the model's **initial values**: the tile
+   footprint fills the usable capacity of the level (full capacity when
+   direct-mapped, ``(n-1)/n`` when n-way) and the register stage fills the
+   register file;
+3. runs the paper's **shape/size search**: with the footprint held
+   constant, repeatedly double one parameter and halve another, keeping
+   improvements; then halve the footprint and repeat, stopping when all
+   neighbours are worse; then a short **linear search** of ±step on each
+   parameter (step = max(register tile size, cache line size)), favouring
+   values that divide the loop bounds;
+4. searches **prefetching** one data structure at a time: insert with
+   distance 1, keep only if it helps, then grow the distance while it
+   keeps helping;
+5. **re-adjusts tiling after prefetch**: widens the innermost tile while
+   performance improves (prefetching favours longer inner loops).
+
+Every experiment is a real execution on the simulated machine; results
+are memoized, and the total number of *distinct* points evaluated is
+reported (the paper's §4.3 search-cost metric).
+
+Because phase 1 can emit more sibling variants than the paper's Table 4
+lists, the search first *screens* all variants at their initial points and
+runs the full staged search only on the most promising few
+(``SearchConfig.full_search_variants``) — keeping the total search cost in
+the paper's reported range (tens of points).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.variants import (
+    Constraint,
+    PrefetchSite,
+    Variant,
+    instantiate,
+    prefetch_sites,
+)
+from repro.ir.expr import Const, Mul, Var
+from repro.ir.nest import Kernel, Prefetch, walk_statements
+from repro.machines import MachineSpec
+from repro.sim import Counters, execute
+from repro.transforms import TransformError
+from repro.transforms.padding import pad_arrays
+
+__all__ = ["SearchConfig", "SearchResult", "GuidedSearch"]
+
+
+@dataclass
+class SearchConfig:
+    """Knobs for the guided search."""
+
+    full_search_variants: int = 3
+    max_linear_rounds: int = 2
+    prefetch_distances: Tuple[int, ...] = (1, 2, 4, 8)
+    min_tile: int = 2
+    max_unroll: int = 16
+    #: optional extension (the paper did this manually, §4.2): search one
+    #: line of leading-dimension padding per array when copying was not
+    #: selected, to stabilize conflict-miss pathologies
+    search_padding: bool = False
+
+
+@dataclass
+class SearchResult:
+    """Outcome of tuning one kernel on one machine."""
+
+    variant: Variant
+    values: Dict[str, int]
+    prefetch: Dict[PrefetchSite, int]
+    pads: Dict[str, int]
+    counters: Counters
+    points: int
+    seconds: float
+    #: simulated time the target machine spent running the experiments —
+    #: the analog of the paper's reported search minutes
+    machine_seconds: float
+    variants_considered: int
+    history: List[Tuple[str, Dict[str, int], float]] = field(default_factory=list)
+
+    @property
+    def cycles(self) -> float:
+        return self.counters.cycles
+
+    @property
+    def mflops(self) -> float:
+        return self.counters.mflops
+
+
+class GuidedSearch:
+    """Search driver for one kernel / machine / problem size."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        machine: MachineSpec,
+        problem: Mapping[str, int],
+        config: Optional[SearchConfig] = None,
+    ) -> None:
+        self.kernel = kernel
+        self.machine = machine
+        self.problem = dict(problem)
+        self.config = config or SearchConfig()
+        self._cache: Dict[Tuple, float] = {}
+        self._counters: Dict[Tuple, Counters] = {}
+        self.points = 0
+        self.machine_seconds = 0.0
+        self.history: List[Tuple[str, Dict[str, int], float]] = []
+
+    # -- measurement ------------------------------------------------------
+    def measure(
+        self,
+        variant: Variant,
+        values: Mapping[str, int],
+        prefetch: Optional[Mapping[PrefetchSite, int]] = None,
+        pads: Optional[Mapping[str, int]] = None,
+    ) -> float:
+        """Cycles of one experiment (inf when infeasible); memoized."""
+        values = dict(values)
+        prefetch = dict(prefetch or {})
+        pads = {k: v for k, v in (pads or {}).items() if v}
+        key = self._key(variant, values, prefetch, pads)
+        if key in self._cache:
+            return self._cache[key]
+        cycles = math.inf
+        full = {**values, **self.problem}
+        if variant.feasible(full) and all(v >= 1 for v in values.values()):
+            try:
+                inst = instantiate(
+                    self.kernel, variant, values, self.machine, prefetch
+                )
+                if pads:
+                    inst = pad_arrays(inst, pads)
+                counters = execute(inst, self.problem, self.machine)
+                cycles = counters.cycles
+                self._counters[key] = counters
+                self.machine_seconds += counters.seconds
+            except TransformError:
+                cycles = math.inf
+            self.points += 1
+            self.history.append((variant.name, dict(values), cycles))
+        self._cache[key] = cycles
+        return cycles
+
+    def _key(self, variant, values, prefetch, pads=None) -> Tuple:
+        return (
+            variant.name,
+            tuple(sorted(values.items())),
+            tuple(sorted((s.array, s.loop, d) for s, d in prefetch.items())),
+            tuple(sorted((pads or {}).items())),
+        )
+
+    # -- public entry -------------------------------------------------------
+    def run(self, variants: Sequence[Variant]) -> SearchResult:
+        """Screen all variants, fully search the best few, pick the winner."""
+        start = time.perf_counter()
+        screened: List[Tuple[float, Variant, Dict[str, int]]] = []
+        for variant in variants:
+            values = self.initial_values(variant)
+            cycles = self.measure(variant, values)
+            screened.append((cycles, variant, values))
+        screened.sort(key=lambda item: item[0])
+        feasible = [item for item in screened if math.isfinite(item[0])]
+        if not feasible:
+            raise RuntimeError("no feasible variant at its initial point")
+
+        best: Optional[Tuple[float, Variant, Dict[str, int], Dict[PrefetchSite, int], Dict[str, int]]]
+        best = None
+        for _, variant, seed in feasible[: self.config.full_search_variants]:
+            values = self.search_tiling(variant, seed)
+            values, prefetch = self.search_prefetch(variant, values)
+            values = self.adjust_after_prefetch(variant, values, prefetch)
+            pads = self.search_padding(variant, values, prefetch)
+            cycles = self.measure(variant, values, prefetch, pads)
+            if best is None or cycles < best[0]:
+                best = (cycles, variant, values, prefetch, pads)
+        assert best is not None
+        cycles, variant, values, prefetch, pads = best
+        key = self._key(variant, values, prefetch, pads)
+        counters = self._counters[key]
+        return SearchResult(
+            variant=variant,
+            values=values,
+            prefetch=prefetch,
+            pads=pads,
+            counters=counters,
+            points=self.points,
+            seconds=time.perf_counter() - start,
+            machine_seconds=self.machine_seconds,
+            variants_considered=len(variants),
+            history=self.history,
+        )
+
+    # -- stage construction -------------------------------------------------
+    def stages(self, variant: Variant) -> List[List[str]]:
+        """Parameter groups searched together (levels sharing a parameter
+        merge), register stage first, then cache levels inner to outer."""
+        groups: List[List[str]] = []
+        for level in variant.levels:
+            params = [p for p in level.params]
+            if not params:
+                continue
+            overlapping = [g for g in groups if set(g) & set(params)]
+            merged = params
+            for group in overlapping:
+                merged = group + [p for p in merged if p not in group]
+                groups.remove(group)
+            groups.append(list(dict.fromkeys(merged)))
+        return groups
+
+    def _stage_budget(self, variant: Variant, params: Sequence[str]) -> Tuple[int, int]:
+        """(product budget, coefficient) from the tightest constraint whose
+        variables are exactly a subset of ``params``."""
+        budget = None
+        for constraint in variant.constraints:
+            free = constraint.expr.free_vars()
+            if not free or not free <= set(params):
+                continue
+            coeff = 1
+            if isinstance(constraint.expr, Mul):
+                for factor in constraint.expr.factors:
+                    if isinstance(factor, Const):
+                        coeff *= factor.value
+            bound = int(constraint.bound.evaluate(self.problem))
+            limit = max(1, bound // max(1, coeff))
+            if budget is None or limit < budget:
+                budget = limit
+        if budget is None:
+            budget = self.machine.l1.usable_fraction_capacity() // 8
+        return budget, 1
+
+    def initial_values(self, variant: Variant) -> Dict[str, int]:
+        """The model's seed point: each stage fills its level's capacity."""
+        values: Dict[str, int] = {}
+        unroll_params = {p for _, p in variant.unrolls}
+        for params in self.stages(variant):
+            budget, _ = self._stage_budget(variant, params)
+            fixed = [p for p in params if p in values]
+            free = [p for p in params if p not in values]
+            remaining = budget
+            for p in fixed:
+                remaining = max(1, remaining // values[p])
+            share = max(1, round(remaining ** (1.0 / max(1, len(free)))))
+            share = _floor_pow2(share)
+            for p in free:
+                value = share
+                if p in unroll_params:
+                    value = max(1, min(value, self.config.max_unroll))
+                else:
+                    value = max(self.config.min_tile, value)
+                values[p] = value
+        return self._clamp(variant, values)
+
+    def _clamp(self, variant: Variant, values: Dict[str, int]) -> Dict[str, int]:
+        out = dict(values)
+        size_cap = max(self.problem.values()) if self.problem else 1 << 20
+        unroll_params = {p for _, p in variant.unrolls}
+        for p, v in out.items():
+            v = max(1, int(v))
+            if p in unroll_params:
+                v = min(v, self.config.max_unroll)
+            else:
+                v = max(self.config.min_tile, min(v, size_cap))
+            out[p] = v
+        return out
+
+    # -- tiling search (paper §3.2 first step) -------------------------------
+    def search_tiling(self, variant: Variant, seed: Dict[str, int]) -> Dict[str, int]:
+        values = dict(seed)
+        for params in self.stages(variant):
+            values = self._search_stage(variant, values, params)
+        values = self._linear_refine(variant, values)
+        return values
+
+    def _search_stage(
+        self, variant: Variant, values: Dict[str, int], params: Sequence[str]
+    ) -> Dict[str, int]:
+        best = dict(values)
+        best_cycles = self.measure(variant, best)
+        improved_any = True
+        while improved_any:
+            improved_any = False
+            # Shape moves: double one parameter, halve another.
+            for grow in params:
+                for shrink in params:
+                    if grow == shrink:
+                        continue
+                    candidate = dict(best)
+                    candidate[grow] = candidate[grow] * 2
+                    candidate[shrink] = max(1, candidate[shrink] // 2)
+                    candidate = self._clamp(variant, candidate)
+                    cycles = self.measure(variant, candidate)
+                    if cycles < best_cycles:
+                        best, best_cycles = candidate, cycles
+                        improved_any = True
+            # Size move: halve the whole footprint.
+            candidate = dict(best)
+            for p in params:
+                candidate[p] = max(1, candidate[p] // 2)
+            candidate = self._clamp(variant, candidate)
+            cycles = self.measure(variant, candidate)
+            if cycles < best_cycles:
+                best, best_cycles = candidate, cycles
+                improved_any = True
+        return best
+
+    def _linear_refine(self, variant: Variant, values: Dict[str, int]) -> Dict[str, int]:
+        best = dict(values)
+        best_cycles = self.measure(variant, best)
+        line_elems = max(1, self.machine.l1.line_size // 8)
+        unroll_params = {p for _, p in variant.unrolls}
+        for _ in range(self.config.max_linear_rounds):
+            improved = False
+            for p in variant.param_names:
+                step = 1 if p in unroll_params else max(line_elems, 4)
+                for delta in (step, -step):
+                    candidate = dict(best)
+                    candidate[p] = candidate[p] + delta
+                    candidate = self._clamp(variant, candidate)
+                    candidate[p] = self._favor_divisor(candidate[p], delta)
+                    if candidate == best:
+                        continue
+                    cycles = self.measure(variant, candidate)
+                    if cycles < best_cycles:
+                        best, best_cycles = candidate, cycles
+                        improved = True
+            if not improved:
+                break
+        return best
+
+    def _favor_divisor(self, value: int, delta: int) -> int:
+        """Nudge a value to a divisor of the problem size when one is near
+        (the paper favours factors that evenly divide the loop bounds)."""
+        size = max(self.problem.values()) if self.problem else 0
+        if size <= 0 or value <= 0:
+            return value
+        for nudge in (0, 1, -1):
+            candidate = value + nudge
+            if candidate >= 1 and size % candidate == 0:
+                return candidate
+        return value
+
+    # -- prefetch search (paper §3.2 second step) ----------------------------
+    def search_prefetch(
+        self, variant: Variant, values: Dict[str, int]
+    ) -> Tuple[Dict[str, int], Dict[PrefetchSite, int]]:
+        prefetch: Dict[PrefetchSite, int] = {}
+        best_cycles = self.measure(variant, values, prefetch)
+        for site in prefetch_sites(self.kernel, variant):
+            if not self._site_effective(variant, values, prefetch, site):
+                continue
+            trial = dict(prefetch)
+            trial[site] = self.config.prefetch_distances[0]
+            cycles = self.measure(variant, values, trial)
+            if cycles >= best_cycles:
+                continue  # no benefit: remove the prefetch (paper rule)
+            best_site_cycles = cycles
+            best_distance = self.config.prefetch_distances[0]
+            for distance in self.config.prefetch_distances[1:]:
+                trial[site] = distance
+                cycles = self.measure(variant, values, trial)
+                if cycles < best_site_cycles:
+                    best_site_cycles = cycles
+                    best_distance = distance
+                else:
+                    break
+            prefetch[site] = best_distance
+            best_cycles = best_site_cycles
+        return values, prefetch
+
+    def _site_effective(
+        self,
+        variant: Variant,
+        values: Dict[str, int],
+        prefetch: Dict[PrefetchSite, int],
+        site: PrefetchSite,
+    ) -> bool:
+        """Skip sites whose insertion adds no prefetch instructions (e.g.
+        arrays fully promoted to registers)."""
+        try:
+            trial = dict(prefetch)
+            trial[site] = 1
+            inst = instantiate(self.kernel, variant, values, self.machine, trial)
+        except (TransformError, KeyError):
+            return False
+        return any(
+            isinstance(s, Prefetch)
+            and s.ref.array in (site.array,)
+            for s in walk_statements(inst.body)
+        )
+
+    # -- post-prefetch adjustment (paper §3.2 third step) ----------------------
+    def adjust_after_prefetch(
+        self,
+        variant: Variant,
+        values: Dict[str, int],
+        prefetch: Dict[PrefetchSite, int],
+    ) -> Dict[str, int]:
+        """Grow the innermost (register-loop) tile while it helps."""
+        inner_param = variant.tile_map.get(variant.register_loop)
+        if inner_param is None or not prefetch:
+            return values
+        best = dict(values)
+        best_cycles = self.measure(variant, best, prefetch)
+        while True:
+            candidate = dict(best)
+            candidate[inner_param] = candidate[inner_param] * 2
+            candidate = self._clamp(variant, candidate)
+            if candidate == best:
+                break
+            cycles = self.measure(variant, candidate, prefetch)
+            if cycles < best_cycles:
+                best, best_cycles = candidate, cycles
+            else:
+                break
+        return best
+
+    # -- optional padding axis (extension; the paper padded manually) --------
+    def search_padding(
+        self,
+        variant: Variant,
+        values: Dict[str, int],
+        prefetch: Dict[PrefetchSite, int],
+    ) -> Dict[str, int]:
+        """Try one cache line of leading-dimension padding per user array.
+
+        Only runs when enabled and when the variant selected no copy (a
+        copied tile is already conflict-free); keeps a pad only when the
+        experiment improves.
+        """
+        if not self.config.search_padding or variant.copies:
+            return {}
+        line_elems = max(1, self.machine.l1.line_size // 8)
+        pads: Dict[str, int] = {}
+        best_cycles = self.measure(variant, values, prefetch, pads)
+        for decl in self.kernel.arrays:
+            if decl.temp:
+                continue
+            trial = dict(pads)
+            trial[decl.name] = line_elems
+            cycles = self.measure(variant, values, prefetch, trial)
+            if cycles < best_cycles:
+                pads, best_cycles = trial, cycles
+        return pads
+
+
+def _floor_pow2(value: int) -> int:
+    if value < 1:
+        return 1
+    return 1 << (value.bit_length() - 1)

@@ -1,0 +1,269 @@
+"""Parameterized code variants (phase 1's output, phase 2's input).
+
+A :class:`Variant` is a *recipe*: the loop order, unroll-and-jam loops,
+tiled loops and copy candidates chosen by the model-driven analysis,
+together with symbolic :class:`Constraint`\\ s on the parameter values
+(``UI*UJ <= 32``, ``TJ*TK <= 2048`` — the paper's Table 4).  The actual
+code transformations "that depend upon parameter values" run when the
+empirical search instantiates the variant with concrete values
+(:func:`instantiate`), exactly as the paper prescribes (§3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.ir.expr import Expr, Var
+from repro.ir.nest import ArrayRef, Kernel
+from repro.machines import MachineSpec
+from repro.transforms import (
+    CopyDim,
+    TileSpec,
+    apply_copy,
+    insert_prefetch,
+    scalar_replace,
+    tile_nest,
+    unroll_and_jam,
+)
+
+__all__ = [
+    "Constraint",
+    "CopyPlan",
+    "LevelPlan",
+    "PrefetchSite",
+    "Variant",
+    "control_name",
+    "instantiate",
+]
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """``expr <= bound`` over optimization parameters (and problem sizes).
+
+    ``hard`` constraints gate feasibility (a register tile larger than the
+    register file is never worth running).  Soft constraints are model
+    *predictions* — e.g. "the untiled operand still fits L2 at this
+    problem size" — that rank variants but must not forbid running them:
+    when data genuinely exceeds a level it simply streams, which the
+    empirical measurement prices correctly.
+    """
+
+    expr: Expr
+    bound: Expr
+    label: str
+    hard: bool = True
+
+    def satisfied(self, values: Mapping[str, int]) -> bool:
+        return int(self.expr.evaluate(values)) <= int(self.bound.evaluate(values))
+
+    def __str__(self) -> str:
+        return self.label
+
+
+@dataclass(frozen=True)
+class CopyPlan:
+    """Copy one array's tile into a contiguous temporary at a cache level."""
+
+    array: str
+    temp: str
+    #: (array dimension, point loop indexing it), covering every dimension
+    dims: Tuple[Tuple[int, str], ...]
+    level: int  # 1-based cache level whose conflicts the copy removes
+
+
+@dataclass(frozen=True)
+class LevelPlan:
+    """One row of the paper's Table 4: what a memory level retains."""
+
+    level: str  # "Reg", "L1", "L2", ...
+    loop: str  # loop carrying the reuse exploited at this level
+    retained: Tuple[ArrayRef, ...]
+    transform: str  # human-readable transform summary
+    params: Tuple[str, ...]
+
+    def describe(self) -> str:
+        retained = ", ".join(str(r) for r in self.retained)
+        params = ",".join(self.params) if self.params else "-"
+        return f"{self.level:4s} {self.loop:3s} {self.transform:38s} {params}"
+
+
+@dataclass(frozen=True)
+class PrefetchSite:
+    """A (array, loop) pair where the search may insert prefetches."""
+
+    array: str
+    loop: str
+
+
+@dataclass(frozen=True)
+class Variant:
+    """A parameterized implementation candidate of one kernel."""
+
+    name: str
+    kernel_name: str
+    point_order: Tuple[str, ...]
+    control_order: Tuple[str, ...]  # tiled loop vars, outermost control first
+    tiles: Tuple[Tuple[str, str], ...]  # (loop, tile parameter)
+    unrolls: Tuple[Tuple[str, str], ...]  # (loop, unroll parameter)
+    register_loop: str
+    copies: Tuple[CopyPlan, ...]
+    levels: Tuple[LevelPlan, ...]
+    constraints: Tuple[Constraint, ...]
+
+    # -- conveniences -----------------------------------------------------
+    @property
+    def tile_map(self) -> Dict[str, str]:
+        return dict(self.tiles)
+
+    @property
+    def unroll_map(self) -> Dict[str, str]:
+        return dict(self.unrolls)
+
+    @property
+    def param_names(self) -> Tuple[str, ...]:
+        return tuple(p for _, p in self.tiles) + tuple(p for _, p in self.unrolls)
+
+    def feasible(self, values: Mapping[str, int]) -> bool:
+        """Check every *hard* constraint whose variables are all bound."""
+        for constraint in self.constraints:
+            if not constraint.hard:
+                continue
+            free = constraint.expr.free_vars() | constraint.bound.free_vars()
+            if free - set(values):
+                continue
+            if not constraint.satisfied(values):
+                return False
+        return True
+
+    def predicted_fit(self, values: Mapping[str, int]) -> bool:
+        """Do the soft (model-prediction) constraints also hold?"""
+        for constraint in self.constraints:
+            if constraint.hard:
+                continue
+            free = constraint.expr.free_vars() | constraint.bound.free_vars()
+            if free - set(values):
+                continue
+            if not constraint.satisfied(values):
+                return False
+        return True
+
+    def describe(self) -> str:
+        """Render in the style of the paper's Table 4."""
+        lines = [f"variant {self.name} ({self.kernel_name})"]
+        for level in self.levels:
+            lines.append("  " + level.describe())
+        for constraint in self.constraints:
+            lines.append(f"  s.t. {constraint.label}")
+        return "\n".join(lines)
+
+
+def control_name(loop: str) -> str:
+    """Controlling-loop variable for a tiled loop (``K`` -> ``KK``)."""
+    return loop + loop
+
+
+def instantiate(
+    kernel: Kernel,
+    variant: Variant,
+    values: Mapping[str, int],
+    machine: Optional[MachineSpec] = None,
+    prefetch: Optional[Mapping[PrefetchSite, int]] = None,
+) -> Kernel:
+    """Produce executable code for ``variant`` with concrete parameters.
+
+    Pipeline order (each step's preconditions rely on the previous):
+    permute+tile → copy → unroll-and-jam → scalar replacement → prefetch.
+    Raises ``KeyError`` when a needed parameter is missing from ``values``
+    and ``TransformError`` when the recipe is inapplicable.
+
+    Legality checks run with reassociation permitted: the paper's
+    evaluation compiles with ``roundoff=3`` (Table 3), i.e. floating-point
+    sums may be reordered.  Tiled/interleaved reductions (e.g. blocking
+    both filter loops of a convolution) are therefore allowed; results
+    then match the original to rounding, not bitwise.
+    """
+    line_elems = 4
+    if machine is not None:
+        line_elems = max(1, machine.l1.line_size // 8)
+
+    tile_specs = [
+        TileSpec(loop, control_name(loop), int(values[param]))
+        for loop, param in variant.tiles
+    ]
+    result = tile_nest(
+        kernel,
+        tile_specs,
+        control_order=[control_name(loop) for loop in variant.control_order],
+        point_order=list(variant.point_order),
+        check_legality=True,
+        reassociate=True,
+    )
+
+    tile_map = variant.tile_map
+    for plan in variant.copies:
+        dims = []
+        for dim, point_var in plan.dims:
+            size = int(values[tile_map[point_var]])
+            dims.append(CopyDim(dim, point_var, control_name(point_var), size))
+        pad = _conflict_pad(dims, machine)
+        result = apply_copy(result, plan.array, plan.temp, dims, pad=pad)
+
+    for loop in reversed(variant.point_order):
+        param = variant.unroll_map.get(loop)
+        if param is None:
+            continue
+        factor = int(values[param])
+        if factor > 1:
+            result = unroll_and_jam(result, loop, factor, reassociate=True)
+
+    result = scalar_replace(result, variant.register_loop)
+
+    for site, distance in (prefetch or {}).items():
+        if distance and distance > 0:
+            result = insert_prefetch(
+                result, site.array, int(distance), site.loop, line_elems=line_elems
+            )
+    return result
+
+
+def _conflict_pad(dims: Sequence[CopyDim], machine: Optional[MachineSpec]) -> int:
+    """Pad the copy buffer so its column stride avoids self-conflicts.
+
+    The paper's constraint: the copy array's stride must not be a multiple
+    of the previous level's cache-set span (``mod(Size, Capacity) != 0``).
+    """
+    if machine is None or not dims:
+        return 0
+    first = min(dims, key=lambda d: d.dim)
+    column_bytes = first.tile_size * 8
+    pad = 0
+    for cache in machine.caches:
+        span = cache.capacity // cache.associativity
+        while column_bytes >= span and (column_bytes % span) == 0:
+            pad += cache.line_size // 8
+            column_bytes = (first.tile_size + pad) * 8
+    return pad
+
+
+def prefetch_sites(kernel: Kernel, variant: Variant) -> List[PrefetchSite]:
+    """Candidate prefetch sites for an *instantiated* variant's search.
+
+    The register-reuse loop streams the per-iteration data (the paper
+    prefetches ``A`` in v1 and the copy of ``B`` in v2 there), and each
+    copy's innermost copy loop streams the copy source.
+    """
+    sites: List[PrefetchSite] = []
+    copied = {plan.array: plan for plan in variant.copies}
+    for decl in kernel.arrays:
+        if decl.name in copied:
+            plan = copied[decl.name]
+            inner_dim = min(d for d, _ in plan.dims)
+            point = dict(plan.dims)[inner_dim]
+            sites.append(PrefetchSite(decl.name, "c" + point))
+        else:
+            sites.append(PrefetchSite(decl.name, variant.register_loop))
+    for plan in variant.copies:
+        sites.append(PrefetchSite(plan.temp, variant.register_loop))
+    return sites

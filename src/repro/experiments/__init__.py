@@ -1,0 +1,14 @@
+"""Experiment reproductions: one module per table/figure of the paper.
+
+* :mod:`repro.experiments.table1` — counter variation with parameters;
+* :mod:`repro.experiments.table4` — derived variants for matrix multiply;
+* :mod:`repro.experiments.fig4` — matrix multiply MFLOPS sweeps;
+* :mod:`repro.experiments.fig5` — Jacobi MFLOPS sweeps;
+* :mod:`repro.experiments.searchcost` — §4.3 search-cost comparison.
+
+Each module is runnable: ``python -m repro.experiments.fig4 sgi [out.csv]``.
+"""
+
+from repro.experiments.config import ExperimentConfig, default_config
+
+__all__ = ["ExperimentConfig", "default_config"]

@@ -1,0 +1,82 @@
+"""Figure 5: Jacobi MFLOPS across problem sizes (ECO vs Native).
+
+Reproduces the paper's Figure 5(a)/(b).  Jacobi is memory-bandwidth
+limited, so the absolute numbers are far below matrix multiply's; the
+shape expectations (paper §4.2) are: ECO above Native on average, and
+*both* fluctuating at pathological sizes, since ECO's model rejects
+copying for Jacobi and conflict misses remain.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, List, Optional
+
+from repro.baselines import NativeCompiler
+from repro.experiments.config import ExperimentConfig, default_config
+from repro.experiments.report import format_series, format_table, header, write_csv
+from repro.experiments.runner import tuned_eco
+from repro.kernels import jacobi
+from repro.machines import get_machine
+
+__all__ = ["run_fig5", "main"]
+
+
+def run_fig5(
+    machine_name: str = "sgi",
+    config: Optional[ExperimentConfig] = None,
+) -> Dict[str, object]:
+    config = config or default_config()
+    machine = get_machine(machine_name)
+    sizes = list(config.jacobi_sizes)
+
+    eco = tuned_eco("jacobi", machine_name, config.jacobi_tuning_size)
+    native = NativeCompiler(jacobi(), machine)
+
+    series: Dict[str, List[float]] = {"ECO": [], "Native": []}
+    for n in sizes:
+        problem = {"N": n}
+        series["ECO"].append(eco.measure(problem).mflops)
+        series["Native"].append(native.measure(problem).mflops)
+    return {"machine": machine, "sizes": sizes, "series": series, "eco": eco}
+
+
+def summarize(result: Dict[str, object]) -> List[Dict[str, object]]:
+    rows = []
+    for name, values in result["series"].items():
+        rows.append(
+            {
+                "impl": name,
+                "min": round(min(values), 1),
+                "avg": round(sum(values) / len(values), 1),
+                "max": round(max(values), 1),
+            }
+        )
+    return rows
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    argv = argv if argv is not None else sys.argv[1:]
+    machine_name = argv[0] if argv else "sgi"
+    config = default_config()
+    result = run_fig5(machine_name, config)
+    machine = result["machine"]
+    panel = "(a)" if "sgi" in machine.name else "(b)"
+    print(header(f"Figure 5{panel}: Jacobi on {machine.name}", machine.describe()))
+    print(f"tuned at N={config.jacobi_tuning_size}\n")
+    print(format_series("N", result["sizes"], result["series"]))
+    print()
+    print(format_table(summarize(result)))
+    print()
+    print(result["eco"].describe())
+    if len(argv) > 1:
+        rows = [
+            {"N": n, **{name: result["series"][name][i] for name in result["series"]}}
+            for i, n in enumerate(result["sizes"])
+        ]
+        write_csv(argv[1], rows)
+        print(f"\nwrote {argv[1]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+"""Models vs. empirical search: the paper's motivating comparison.
+
+Section 1 frames the work against Yotov et al.'s finding that
+model-selected parameters get "roughly comparable" performance to ATLAS's
+search, and argues that models alone cannot capture conflict behaviour —
+hence ECO's combination.  Two quantitative panels:
+
+1. **miss-model accuracy** — the static (compulsory+capacity) miss
+   estimator of :mod:`repro.analysis.missmodel` against simulated
+   counters across sizes: accurate in smooth regimes, off at
+   conflict-pathological sizes (the reason empirical feedback matters);
+2. **model-driven vs ECO** — phase 1 with the models' parameter choices
+   and *no* experiments (:class:`repro.baselines.modeldriven.ModelDriven`)
+   against full ECO, across sizes: close on average (Yotov's finding),
+   with the search recovering the pathological sizes (the paper's
+   contribution).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, List, Optional
+
+from repro.analysis.missmodel import estimate_misses
+from repro.baselines.modeldriven import ModelDriven
+from repro.experiments.config import ExperimentConfig, default_config
+from repro.experiments.report import format_table, header, write_csv
+from repro.experiments.runner import tuned_eco
+from repro.kernels import matmul
+from repro.machines import get_machine
+from repro.sim import execute
+
+__all__ = ["run_miss_model_accuracy", "run_model_vs_eco", "main"]
+
+
+def run_miss_model_accuracy(
+    machine_name: str = "sgi", sizes=(8, 16, 24, 32, 48, 64)
+) -> List[Dict[str, object]]:
+    machine = get_machine(machine_name)
+    kernel = matmul()
+    rows = []
+    for n in sizes:
+        est = estimate_misses(kernel, {"N": n}, machine)
+        got = execute(kernel, {"N": n}, machine)
+        rows.append(
+            {
+                "N": n,
+                "L1 predicted": est.l1,
+                "L1 measured": got.l1_misses,
+                "L1 error %": round(100 * (est.l1 - got.l1_misses) / max(1, got.l1_misses), 1),
+                "L2 predicted": est.l2,
+                "L2 measured": got.l2_misses,
+                "L2 error %": round(100 * (est.l2 - got.l2_misses) / max(1, got.l2_misses), 1),
+            }
+        )
+    return rows
+
+
+def run_model_vs_eco(
+    machine_name: str = "sgi", config: Optional[ExperimentConfig] = None
+) -> List[Dict[str, object]]:
+    config = config or default_config()
+    machine = get_machine(machine_name)
+    model = ModelDriven(matmul(), machine)
+    eco = tuned_eco("mm", machine_name, config.mm_tuning_size)
+    rows = []
+    for n in config.mm_sizes:
+        problem = {"N": n}
+        model_counters = model.measure(problem)
+        eco_counters = eco.measure(problem)
+        rows.append(
+            {
+                "N": n,
+                "Model-driven": round(model_counters.mflops, 1),
+                "ECO": round(eco_counters.mflops, 1),
+                "ECO gain %": round(
+                    100 * (eco_counters.mflops - model_counters.mflops)
+                    / max(1e-9, model_counters.mflops),
+                    1,
+                ),
+            }
+        )
+    return rows
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    argv = argv if argv is not None else sys.argv[1:]
+    machine_name = argv[0] if argv else "sgi"
+    machine = get_machine(machine_name)
+    print(header("Motivation: models vs empirical search", machine.describe()))
+    print("\n-- static miss model vs simulation (original mm) --\n")
+    accuracy = run_miss_model_accuracy(machine_name)
+    print(format_table(accuracy))
+    print("\n-- model-driven parameters vs full ECO (tuned mm) --\n")
+    comparison = run_model_vs_eco(machine_name)
+    print(format_table(comparison))
+    if len(argv) > 1:
+        write_csv(argv[1], comparison)
+        print(f"\nwrote {argv[1]}")
+
+
+if __name__ == "__main__":
+    main()

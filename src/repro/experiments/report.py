@@ -1,0 +1,87 @@
+"""Reporting helpers: fixed-width tables, ASCII series plots, CSV output.
+
+Every experiment module renders its results through these, so table/figure
+output has a uniform look and can be diffed across runs.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Dict, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_series", "write_csv", "header"]
+
+
+def header(title: str, machine_desc: str = "") -> str:
+    """Experiment banner including the machine description (Table 2/3 role)."""
+    lines = ["=" * 72, title, "=" * 72]
+    if machine_desc:
+        lines.insert(2, machine_desc)
+    return "\n".join(lines)
+
+
+def format_table(rows: Sequence[Mapping[str, object]], columns: Optional[Sequence[str]] = None) -> str:
+    """Render dict rows as a fixed-width text table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    widths = {c: len(str(c)) for c in columns}
+    rendered: List[Dict[str, str]] = []
+    for row in rows:
+        cells = {}
+        for c in columns:
+            value = row.get(c, "")
+            if isinstance(value, float):
+                text = f"{value:,.1f}"
+            elif isinstance(value, int):
+                text = f"{value:,}"
+            else:
+                text = str(value)
+            cells[c] = text
+            widths[c] = max(widths[c], len(text))
+        rendered.append(cells)
+    head = "  ".join(str(c).rjust(widths[c]) for c in columns)
+    sep = "  ".join("-" * widths[c] for c in columns)
+    body = [
+        "  ".join(cells[c].rjust(widths[c]) for c in columns) for cells in rendered
+    ]
+    return "\n".join([head, sep] + body)
+
+
+def format_series(
+    x_label: str,
+    xs: Sequence[int],
+    series: Mapping[str, Sequence[float]],
+    y_label: str = "MFLOPS",
+    width: int = 50,
+) -> str:
+    """ASCII rendering of several y-vs-x series (the paper's line plots).
+
+    Each x value becomes one row; series values are shown numerically plus
+    a proportional bar for the first series ordering.
+    """
+    names = list(series)
+    peak = max((max(v) for v in series.values() if len(v)), default=1.0) or 1.0
+    lines = [f"{x_label:>8}  " + "  ".join(f"{n:>12}" for n in names)]
+    for i, x in enumerate(xs):
+        cells = []
+        for name in names:
+            value = series[name][i]
+            cells.append(f"{value:12.1f}")
+        bar = "#" * int(width * series[names[0]][i] / peak)
+        lines.append(f"{x:8d}  " + "  ".join(cells) + "  |" + bar)
+    return "\n".join(lines)
+
+
+def write_csv(path: str, rows: Sequence[Mapping[str, object]]) -> None:
+    """Write dict rows to a CSV file (columns from the first row)."""
+    if not rows:
+        return
+    columns = list(rows[0].keys())
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({c: row.get(c, "") for c in columns})

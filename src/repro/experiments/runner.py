@@ -1,0 +1,48 @@
+"""Shared experiment plumbing: cached tuning runs.
+
+Tuning (ECO's guided search, mini-ATLAS's orthogonal search) is the
+expensive step, and several experiments need the same tuned kernels
+(Figure 4 measures them across sizes; §4.3 reports their search cost), so
+tuned results are cached per (kernel, machine, tuning size) within the
+process.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.baselines import MiniAtlas
+from repro.core import EcoOptimizer, SearchConfig, TunedKernel
+from repro.kernels import get_kernel
+from repro.machines import get_machine
+
+__all__ = ["tuned_eco", "tuned_atlas", "clear_cache"]
+
+_ECO_CACHE: Dict[Tuple[str, str, int], TunedKernel] = {}
+_ATLAS_CACHE: Dict[Tuple[str, int], MiniAtlas] = {}
+
+
+def tuned_eco(kernel_name: str, machine_name: str, tuning_size: int) -> TunedKernel:
+    """ECO-tune a kernel on a machine (cached)."""
+    machine = get_machine(machine_name)
+    key = (kernel_name, machine.name, tuning_size)
+    if key not in _ECO_CACHE:
+        optimizer = EcoOptimizer(get_kernel(kernel_name), machine)
+        _ECO_CACHE[key] = optimizer.optimize({"N": tuning_size})
+    return _ECO_CACHE[key]
+
+
+def tuned_atlas(machine_name: str, tuning_size: int) -> MiniAtlas:
+    """Tune mini-ATLAS's matmul on a machine (cached)."""
+    machine = get_machine(machine_name)
+    key = (machine.name, tuning_size)
+    if key not in _ATLAS_CACHE:
+        atlas = MiniAtlas(machine)
+        atlas.tune(tuning_size)
+        _ATLAS_CACHE[key] = atlas
+    return _ATLAS_CACHE[key]
+
+
+def clear_cache() -> None:
+    _ECO_CACHE.clear()
+    _ATLAS_CACHE.clear()

@@ -1,0 +1,83 @@
+"""Table 4: code variants considered for Matrix Multiply on the SGI.
+
+Phase 1 (:func:`repro.core.derive.derive_variants`) is run on the *full*
+SGI R10000 description so that the constraint constants match the paper's
+(``UI*UJ <= 32``, ``TJ*TK <= 2048``, ``TJ*TK <= 65536``).  The output
+lists every derived variant in Table 4's format — level, loop, transform,
+parameters, constraints — and identifies the two rows the paper prints
+(v1: L1 targets B via loop I with copy, L2 untiled; v2: three-level
+tiling with both operands copied).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, List, Optional
+
+from repro.core import Variant, derive_variants
+from repro.experiments.report import header
+from repro.kernels import matmul
+from repro.machines import get_machine
+
+__all__ = ["paper_v1", "paper_v2", "run_table4", "main"]
+
+
+def _variants(machine_name: str = "sgi-full") -> List[Variant]:
+    return derive_variants(matmul(), get_machine(machine_name), max_variants=20)
+
+
+def paper_v1(variants: List[Variant]) -> Optional[Variant]:
+    """The paper's v1: L1 loop I (tile J,K, copy B), L2 loop J untiled."""
+    for v in variants:
+        if (
+            v.point_order == ("I", "J", "K")
+            and set(dict(v.tiles)) == {"J", "K"}
+            and [c.array for c in v.copies] == ["B"]
+        ):
+            return v
+    return None
+
+
+def paper_v2(variants: List[Variant]) -> Optional[Variant]:
+    """The paper's v2: L1 loop J (copy A), L2 loop I (copy B)."""
+    for v in variants:
+        if (
+            v.point_order == ("J", "I", "K")
+            and set(dict(v.tiles)) == {"I", "J", "K"}
+            and sorted(c.array for c in v.copies) == ["A", "B"]
+        ):
+            return v
+    return None
+
+
+def run_table4(machine_name: str = "sgi-full") -> Dict[str, object]:
+    variants = _variants(machine_name)
+    return {
+        "variants": variants,
+        "paper_v1": paper_v1(variants),
+        "paper_v2": paper_v2(variants),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    argv = argv if argv is not None else sys.argv[1:]
+    machine_name = argv[0] if argv else "sgi-full"
+    machine = get_machine(machine_name)
+    result = run_table4(machine_name)
+    print(header("Table 4: code variants considered for Matrix Multiply",
+                 machine.describe()))
+    v1, v2 = result["paper_v1"], result["paper_v2"]
+    print(f"\nderived {len(result['variants'])} variants; "
+          f"the paper's two are {v1.name if v1 else '??'} and {v2.name if v2 else '??'}\n")
+    for variant in result["variants"]:
+        marker = ""
+        if variant is v1:
+            marker = "   <-- paper's v1"
+        elif variant is v2:
+            marker = "   <-- paper's v2"
+        print(variant.describe() + marker)
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Textual kernel frontend (a small Fortran-flavoured DSL)."""
+
+from repro.frontend.parser import ParseError, parse_kernel
+
+__all__ = ["parse_kernel", "ParseError"]

@@ -1,0 +1,347 @@
+"""Textual kernel frontend.
+
+A small Fortran-flavoured, indentation-structured language for defining
+kernels without touching the builder API::
+
+    kernel mm(N):
+        array A[N, N], B[N, N], C[N, N]
+        do K = 1, N:
+            do J = 1, N:
+                do I = 1, N:
+                    C[I, J] = C[I, J] + A[I, K] * B[K, J]
+
+Grammar sketch (indentation delimits blocks, one statement per line):
+
+* header:  ``kernel NAME(PARAM, ...):``
+* declarations (any order, before loops):
+  ``array NAME[dim, ...], ...`` and ``const NAME, ...``
+* loops:   ``do VAR = LOW, HIGH[, STEP]:``
+* leaves:  ``NAME[index, ...] = expr``, ``NAME = expr`` (scalar temp),
+  ``prefetch NAME[index, ...]``
+
+Index expressions use integer ``+ - *`` over names and literals;
+value expressions additionally allow ``/`` and floating-point literals.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.ir.expr import Expr, Var, as_expr
+from repro.ir.nest import (
+    ArrayDecl,
+    ArrayRef,
+    Assign,
+    CBin,
+    CExpr,
+    CNum,
+    CRead,
+    CVar,
+    Kernel,
+    Loop,
+    Node,
+    Prefetch,
+)
+from repro.ir.validate import validate_kernel
+
+__all__ = ["ParseError", "parse_kernel"]
+
+
+class ParseError(ValueError):
+    """Raised on malformed kernel text, with a line number."""
+
+    def __init__(self, line_no: int, message: str) -> None:
+        super().__init__(f"line {line_no}: {message}")
+        self.line_no = line_no
+
+
+_TOKEN = re.compile(
+    r"\s*(?:(?P<num>\d+\.\d+|\d+)|(?P<name>[A-Za-z_]\w*)"
+    r"|(?P<op>[-+*/=\[\],():]))"
+)
+
+
+def _tokenize(text: str, line_no: int) -> List[str]:
+    tokens: List[str] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN.match(text, pos)
+        if match is None:
+            if text[pos:].strip():
+                raise ParseError(line_no, f"unexpected character {text[pos]!r}")
+            break
+        tokens.append(match.group().strip())
+        pos = match.end()
+    return tokens
+
+
+class _Tokens:
+    def __init__(self, tokens: List[str], line_no: int) -> None:
+        self.tokens = tokens
+        self.pos = 0
+        self.line_no = line_no
+
+    def peek(self) -> Optional[str]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise ParseError(self.line_no, "unexpected end of line")
+        self.pos += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        got = self.next()
+        if got != token:
+            raise ParseError(self.line_no, f"expected {token!r}, got {got!r}")
+
+    def done(self) -> bool:
+        return self.pos >= len(self.tokens)
+
+
+@dataclass
+class _Line:
+    number: int
+    indent: int
+    tokens: _Tokens
+    text: str
+
+
+def _split_lines(source: str) -> List[_Line]:
+    lines: List[_Line] = []
+    for number, raw in enumerate(source.splitlines(), start=1):
+        no_comment = raw.split("#", 1)[0].rstrip()
+        if not no_comment.strip():
+            continue
+        stripped = no_comment.lstrip()
+        indent = len(no_comment) - len(stripped)
+        lines.append(_Line(number, indent, _Tokens(_tokenize(stripped, number), number), stripped))
+    return lines
+
+
+# -- expression parsing ------------------------------------------------------
+
+
+def _parse_index_expr(tokens: _Tokens) -> Expr:
+    return _index_additive(tokens)
+
+
+def _index_additive(tokens: _Tokens) -> Expr:
+    left = _index_term(tokens)
+    while tokens.peek() in ("+", "-"):
+        op = tokens.next()
+        right = _index_term(tokens)
+        left = left + right if op == "+" else left - right
+    return left
+
+
+def _index_term(tokens: _Tokens) -> Expr:
+    left = _index_atom(tokens)
+    while tokens.peek() == "*":
+        tokens.next()
+        left = left * _index_atom(tokens)
+    return left
+
+
+def _index_atom(tokens: _Tokens) -> Expr:
+    token = tokens.next()
+    if token == "(":
+        inner = _index_additive(tokens)
+        tokens.expect(")")
+        return inner
+    if token == "-":
+        return -_index_atom(tokens)
+    if re.fullmatch(r"\d+", token):
+        return as_expr(int(token))
+    if re.fullmatch(r"[A-Za-z_]\w*", token):
+        return Var(token)
+    raise ParseError(tokens.line_no, f"bad index expression near {token!r}")
+
+
+def _parse_value_expr(tokens: _Tokens, arrays: Sequence[str]) -> CExpr:
+    left = _value_term(tokens, arrays)
+    while tokens.peek() in ("+", "-"):
+        op = tokens.next()
+        right = _value_term(tokens, arrays)
+        left = CBin(op, left, right)
+    return left
+
+
+def _value_term(tokens: _Tokens, arrays: Sequence[str]) -> CExpr:
+    left = _value_atom(tokens, arrays)
+    while tokens.peek() in ("*", "/"):
+        op = tokens.next()
+        left = CBin(op, left, _value_atom(tokens, arrays))
+    return left
+
+
+def _value_atom(tokens: _Tokens, arrays: Sequence[str]) -> CExpr:
+    token = tokens.next()
+    if token == "(":
+        inner = _parse_value_expr(tokens, arrays)
+        tokens.expect(")")
+        return inner
+    if token == "-":
+        return CBin("-", CNum(0.0), _value_atom(tokens, arrays))
+    if re.fullmatch(r"\d+\.\d+|\d+", token):
+        return CNum(float(token))
+    if re.fullmatch(r"[A-Za-z_]\w*", token):
+        if tokens.peek() == "[":
+            tokens.next()
+            indices = [_parse_index_expr(tokens)]
+            while tokens.peek() == ",":
+                tokens.next()
+                indices.append(_parse_index_expr(tokens))
+            tokens.expect("]")
+            return CRead(ArrayRef(token, tuple(indices)))
+        return CVar(token)
+    raise ParseError(tokens.line_no, f"bad value expression near {token!r}")
+
+
+def _parse_ref(tokens: _Tokens) -> ArrayRef:
+    name = tokens.next()
+    tokens.expect("[")
+    indices = [_parse_index_expr(tokens)]
+    while tokens.peek() == ",":
+        tokens.next()
+        indices.append(_parse_index_expr(tokens))
+    tokens.expect("]")
+    return ArrayRef(name, tuple(indices))
+
+
+# -- structure parsing ---------------------------------------------------------
+
+
+def parse_kernel(source: str) -> Kernel:
+    """Parse kernel text into a validated :class:`~repro.ir.nest.Kernel`."""
+    lines = _split_lines(source)
+    if not lines:
+        raise ParseError(0, "empty kernel source")
+
+    head = lines[0]
+    if head.tokens.next() != "kernel":
+        raise ParseError(head.number, "kernel must start with 'kernel NAME(...):'")
+    name = head.tokens.next()
+    head.tokens.expect("(")
+    params: List[str] = []
+    while head.tokens.peek() != ")":
+        params.append(head.tokens.next())
+        if head.tokens.peek() == ",":
+            head.tokens.next()
+    head.tokens.expect(")")
+    head.tokens.expect(":")
+
+    arrays: List[ArrayDecl] = []
+    consts: List[str] = []
+    index = 1
+    while index < len(lines):
+        line = lines[index]
+        keyword = line.tokens.peek()
+        if keyword == "array":
+            line.tokens.next()
+            while not line.tokens.done():
+                arr_name = line.tokens.next()
+                line.tokens.expect("[")
+                dims = [_parse_index_expr(line.tokens)]
+                while line.tokens.peek() == ",":
+                    line.tokens.next()
+                    dims.append(_parse_index_expr(line.tokens))
+                line.tokens.expect("]")
+                arrays.append(ArrayDecl(arr_name, tuple(dims)))
+                if line.tokens.peek() == ",":
+                    line.tokens.next()
+            index += 1
+        elif keyword == "const":
+            line.tokens.next()
+            while not line.tokens.done():
+                consts.append(line.tokens.next())
+                if line.tokens.peek() == ",":
+                    line.tokens.next()
+            index += 1
+        else:
+            break
+
+    if not arrays:
+        raise ParseError(head.number, "kernel declares no arrays")
+    array_names = [a.name for a in arrays]
+    body, index = _parse_block(lines, index, lines[index].indent if index < len(lines) else 0, array_names)
+    if index != len(lines):
+        raise ParseError(lines[index].number, "unexpected dedent / trailing code")
+    if not body:
+        raise ParseError(head.number, "kernel has an empty body")
+
+    kernel = Kernel(
+        name=name,
+        params=tuple(params),
+        arrays=tuple(arrays),
+        body=tuple(body),
+        consts=tuple(consts),
+    )
+    validate_kernel(kernel)
+    return kernel
+
+
+def _parse_block(
+    lines: List[_Line], index: int, indent: int, arrays: Sequence[str]
+) -> Tuple[List[Node], int]:
+    nodes: List[Node] = []
+    while index < len(lines):
+        line = lines[index]
+        if line.indent < indent:
+            break
+        if line.indent > indent:
+            raise ParseError(line.number, "unexpected indent")
+        keyword = line.tokens.peek()
+        if keyword == "do":
+            line.tokens.next()
+            var = line.tokens.next()
+            line.tokens.expect("=")
+            lower = _parse_index_expr(line.tokens)
+            line.tokens.expect(",")
+            upper = _parse_index_expr(line.tokens)
+            step = 1
+            if line.tokens.peek() == ",":
+                line.tokens.next()
+                negative = False
+                token = line.tokens.next()
+                if token == "-":
+                    negative = True
+                    token = line.tokens.next()
+                if not re.fullmatch(r"\d+", token):
+                    raise ParseError(line.number, "loop step must be an integer literal")
+                step = -int(token) if negative else int(token)
+            line.tokens.expect(":")
+            body, index = _parse_block(lines, index + 1, _next_indent(lines, index, line.indent), arrays)
+            if not body:
+                raise ParseError(line.number, f"loop {var} has an empty body")
+            nodes.append(Loop(var, lower, upper, step, tuple(body)))
+        elif keyword == "prefetch":
+            line.tokens.next()
+            ref = _parse_ref(line.tokens)
+            if not line.tokens.done():
+                raise ParseError(line.number, "trailing tokens after prefetch")
+            nodes.append(Prefetch(ref))
+            index += 1
+        else:
+            target_name = line.tokens.next()
+            if line.tokens.peek() == "[":
+                line.tokens.pos -= 1
+                target: Union[ArrayRef, str] = _parse_ref(line.tokens)
+            else:
+                target = target_name
+            line.tokens.expect("=")
+            value = _parse_value_expr(line.tokens, arrays)
+            if not line.tokens.done():
+                raise ParseError(line.number, "trailing tokens after assignment")
+            nodes.append(Assign(target, value))
+            index += 1
+    return nodes, index
+
+
+def _next_indent(lines: List[_Line], index: int, current: int) -> int:
+    if index + 1 < len(lines) and lines[index + 1].indent > current:
+        return lines[index + 1].indent
+    return current + 1  # empty body: produces an error upstream

@@ -1,0 +1,93 @@
+"""Loop-nest intermediate representation.
+
+Public surface:
+
+* :mod:`repro.ir.expr` — symbolic integer expressions (bounds, subscripts);
+* :mod:`repro.ir.nest` — arrays, statements, loops, kernels, traversals;
+* :mod:`repro.ir.builder` — convenience constructors;
+* :mod:`repro.ir.printer` — paper-style pseudocode output;
+* :mod:`repro.ir.validate` — structural checks.
+"""
+
+from repro.ir.expr import (
+    AffineView,
+    Add,
+    Const,
+    Expr,
+    FloorDiv,
+    Max,
+    Min,
+    Mod,
+    Mul,
+    Var,
+    affine_view,
+    as_expr,
+    emax,
+    emin,
+)
+from repro.ir.nest import (
+    ArrayDecl,
+    ArrayRef,
+    Assign,
+    CBin,
+    CExpr,
+    CNum,
+    CRead,
+    CVar,
+    Kernel,
+    Loop,
+    Node,
+    Prefetch,
+    Statement,
+    array_refs,
+    count_flops,
+    find_loop,
+    loop_order,
+    map_statements,
+    walk,
+    walk_loops,
+    walk_statements,
+)
+from repro.ir.printer import format_kernel
+from repro.ir.validate import ValidationError, validate_kernel
+
+__all__ = [
+    "Expr",
+    "Const",
+    "Var",
+    "Add",
+    "Mul",
+    "FloorDiv",
+    "Mod",
+    "Min",
+    "Max",
+    "AffineView",
+    "affine_view",
+    "as_expr",
+    "emin",
+    "emax",
+    "ArrayDecl",
+    "ArrayRef",
+    "CExpr",
+    "CNum",
+    "CRead",
+    "CVar",
+    "CBin",
+    "Statement",
+    "Assign",
+    "Prefetch",
+    "Loop",
+    "Node",
+    "Kernel",
+    "walk",
+    "walk_statements",
+    "walk_loops",
+    "loop_order",
+    "find_loop",
+    "array_refs",
+    "count_flops",
+    "map_statements",
+    "format_kernel",
+    "validate_kernel",
+    "ValidationError",
+]

@@ -1,0 +1,140 @@
+"""Convenience constructors for building kernels by hand.
+
+Typical use::
+
+    from repro.ir import builder as B
+
+    N = B.var("N")
+    I, J, K = B.var("I"), B.var("J"), B.var("K")
+    mm = B.kernel(
+        "mm",
+        params=("N",),
+        arrays=(B.array("A", N, N), B.array("B", N, N), B.array("C", N, N)),
+        body=B.loop(
+            "K", 1, N,
+            B.loop(
+                "J", 1, N,
+                B.loop(
+                    "I", 1, N,
+                    B.assign(
+                        B.aref("C", I, J),
+                        B.read("C", I, J) + B.read("A", I, K) * B.read("B", K, J),
+                    ),
+                ),
+            ),
+        ),
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple, Union
+
+from repro.ir.expr import Expr, ExprLike, Var, as_expr
+from repro.ir.nest import (
+    ArrayDecl,
+    ArrayRef,
+    Assign,
+    CExpr,
+    CNum,
+    CRead,
+    CVar,
+    Kernel,
+    Loop,
+    Node,
+    Prefetch,
+)
+
+__all__ = [
+    "var",
+    "array",
+    "aref",
+    "read",
+    "scalar",
+    "num",
+    "assign",
+    "prefetch",
+    "loop",
+    "kernel",
+]
+
+
+def var(name: str) -> Var:
+    """A symbolic integer variable (loop index or size parameter)."""
+    return Var(name)
+
+
+def array(name: str, *shape: ExprLike, element_size: int = 8, temp: bool = False) -> ArrayDecl:
+    """Declare a dense column-major array."""
+    return ArrayDecl(name, tuple(as_expr(d) for d in shape), element_size, temp)
+
+
+def aref(name: str, *indices: ExprLike) -> ArrayRef:
+    """An array reference usable as an assignment target."""
+    return ArrayRef(name, tuple(as_expr(ix) for ix in indices))
+
+
+def read(name: str, *indices: ExprLike) -> CRead:
+    """A load of an array element, usable in computation expressions."""
+    return CRead(aref(name, *indices))
+
+
+def scalar(name: str) -> CVar:
+    """A named scalar (kernel constant or register temporary)."""
+    return CVar(name)
+
+
+def num(value: float) -> CNum:
+    """A floating-point literal."""
+    return CNum(float(value))
+
+
+def assign(target: Union[ArrayRef, str], value: CExpr) -> Assign:
+    return Assign(target, value)
+
+
+def prefetch(ref: ArrayRef) -> Prefetch:
+    return Prefetch(ref)
+
+
+def loop(
+    index: str,
+    lower: ExprLike,
+    upper: ExprLike,
+    *body: Union[Node, Iterable[Node]],
+    step: int = 1,
+    role: str = "compute",
+) -> Loop:
+    """A counted loop with an inclusive upper bound (Fortran ``DO``)."""
+    flat: Tuple[Node, ...] = ()
+    for item in body:
+        if isinstance(item, (Loop, Assign, Prefetch)):
+            flat += (item,)
+        else:
+            flat += tuple(item)
+    return Loop(index, as_expr(lower), as_expr(upper), step, flat, role)
+
+
+def kernel(
+    name: str,
+    params: Sequence[str],
+    arrays: Sequence[ArrayDecl],
+    body: Union[Node, Sequence[Node]],
+    consts: Sequence[str] = (),
+    flop_basis: Expr = None,
+) -> Kernel:
+    """Assemble and validate a kernel."""
+    from repro.ir.validate import validate_kernel
+
+    if isinstance(body, (Loop, Assign, Prefetch)):
+        body = (body,)
+    built = Kernel(
+        name=name,
+        params=tuple(params),
+        arrays=tuple(arrays),
+        body=tuple(body),
+        consts=tuple(consts),
+        flop_basis=flop_basis,
+    )
+    validate_kernel(built)
+    return built

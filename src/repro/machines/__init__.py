@@ -1,0 +1,25 @@
+"""Simulated target machine descriptions (the paper's Table 2)."""
+
+from repro.machines.specs import (
+    MACHINES,
+    SGI_R10K,
+    SGI_R10K_MINI,
+    ULTRASPARC_IIE,
+    ULTRASPARC_IIE_MINI,
+    CacheSpec,
+    MachineSpec,
+    TlbSpec,
+    get_machine,
+)
+
+__all__ = [
+    "CacheSpec",
+    "TlbSpec",
+    "MachineSpec",
+    "SGI_R10K",
+    "ULTRASPARC_IIE",
+    "SGI_R10K_MINI",
+    "ULTRASPARC_IIE_MINI",
+    "MACHINES",
+    "get_machine",
+]

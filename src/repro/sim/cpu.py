@@ -1,0 +1,53 @@
+"""CPU issue cost model.
+
+The model abstracts an out-of-order superscalar the way the paper's
+analysis does: floating-point work and memory operations issue on separate
+pipes and overlap, so the issue time of one iteration of an innermost loop
+is
+
+    max(flops / flops_per_cycle, memory_ops / loads_per_cycle)
+      + loop_overhead
+      + register-to-register moves (rotations) at one per cycle
+      + spill penalty
+
+Register pressure: scalar replacement assumes its temporaries live in
+registers.  When an innermost loop needs more scalars than the usable
+register file, the backend would spill; each excess value costs
+``spill_cost`` extra memory issue slots per iteration.  This is exactly
+why the paper bounds unroll factors by ``UI*UJ <= 32`` *and* still
+searches empirically below the bound — the usable register count is hard
+to predict statically.
+"""
+
+from __future__ import annotations
+
+from repro.machines import MachineSpec
+
+__all__ = ["iteration_issue_cycles", "spill_penalty"]
+
+
+def spill_penalty(machine: MachineSpec, live_scalars: int) -> float:
+    """Extra issue cycles per iteration due to register spilling."""
+    excess = live_scalars - machine.usable_registers
+    if excess <= 0:
+        return 0.0
+    return excess * machine.spill_cost
+
+
+def iteration_issue_cycles(
+    machine: MachineSpec,
+    flops: int,
+    memory_ops: int,
+    scalar_moves: int = 0,
+    live_scalars: int = 0,
+) -> float:
+    """Issue cycles for one iteration of an innermost loop body."""
+    fp_time = flops / machine.flops_per_cycle
+    mem_time = memory_ops / machine.loads_per_cycle
+    busy = max(fp_time, mem_time)
+    return (
+        busy
+        + machine.loop_overhead
+        + scalar_moves * 0.5
+        + spill_penalty(machine, live_scalars)
+    )

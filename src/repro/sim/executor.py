@@ -1,0 +1,313 @@
+"""Trace-driven execution of a kernel on the simulated machine.
+
+``execute(kernel, params, machine)`` walks the loop tree; innermost
+(statements-only) loops are compiled to vectorized address streams — the
+per-iteration access schedule is evaluated once with numpy over the whole
+iteration range — and fed to the :class:`~repro.sim.memsys.MemorySystem`
+in order.  Outer loops iterate in Python.
+
+The result is a :class:`~repro.sim.counters.Counters` with the PAPI-style
+numbers of the paper's Table 1 (Loads, L1/L2 misses, TLB misses, Cycles)
+plus MFLOPS.
+
+This is the "run it on the machine" primitive of the guided empirical
+search: phase 2 calls ``execute`` for every experiment it performs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.codegen.layout import ArrayLayout, MemoryLayout
+from repro.ir.nest import (
+    ArrayRef,
+    Assign,
+    CVar,
+    CBin,
+    Kernel,
+    Loop,
+    Node,
+    Prefetch,
+    Statement,
+)
+from repro.machines import MachineSpec
+from repro.sim.counters import Counters
+from repro.sim.cpu import iteration_issue_cycles
+from repro.sim.memsys import KIND_LOAD, KIND_PREFETCH, KIND_STORE, MemorySystem
+
+__all__ = ["execute", "ExecutionError"]
+
+
+class ExecutionError(RuntimeError):
+    """Raised on out-of-bounds demand accesses during simulation."""
+
+
+@dataclass
+class _Access:
+    ref: ArrayRef
+    kind: int
+    layout: ArrayLayout
+
+
+@dataclass
+class _Schedule:
+    """Precompiled access schedule of one innermost loop body."""
+
+    accesses: List[_Access]
+    flops_per_iter: int
+    loads_per_iter: int
+    stores_per_iter: int
+    prefetches_per_iter: int
+    scalar_moves_per_iter: int
+    live_scalars: int
+
+
+def execute(
+    kernel: Kernel,
+    params: Mapping[str, int],
+    machine: MachineSpec,
+    useful_flops: Optional[int] = None,
+) -> Counters:
+    """Simulate ``kernel`` with the given sizes on ``machine``."""
+    runner = _Runner(kernel, dict(params), machine)
+    runner.run()
+    counters = runner.counters
+    if useful_flops is not None:
+        counters.useful_flops = useful_flops
+    elif kernel.flop_basis is not None:
+        counters.useful_flops = int(kernel.flop_basis.evaluate(params))
+    else:
+        counters.useful_flops = counters.flops
+    counters.cycles = runner.memsys.now
+    counters.stall_cycles = runner.memsys.stall_cycles
+    counters.tlb_stall_cycles = runner.memsys.tlb_stall_cycles
+    counters.cache_hits = runner.memsys.hit_counts()
+    counters.cache_misses = runner.memsys.miss_counts()
+    counters.tlb_hits = runner.memsys.tlb_hits
+    counters.tlb_misses = runner.memsys.tlb_misses
+    return counters
+
+
+class _Runner:
+    def __init__(self, kernel: Kernel, params: Dict[str, int], machine: MachineSpec):
+        self.kernel = kernel
+        self.params = params
+        self.machine = machine
+        self.layout = MemoryLayout.build(kernel, params, machine.tlb.page_size)
+        self.memsys = MemorySystem(machine)
+        self.counters = Counters(
+            kernel=kernel.name,
+            machine=machine.name,
+            params=dict(params),
+            clock_mhz=machine.clock_mhz,
+        )
+        self._schedules: Dict[int, _Schedule] = {}
+
+    def run(self) -> None:
+        env: Dict[str, int] = dict(self.params)
+        self._run_nodes(self.kernel.body, env)
+
+    # ------------------------------------------------------------------
+    def _run_nodes(self, nodes: Tuple[Node, ...], env: Dict[str, int]) -> None:
+        for node in nodes:
+            if isinstance(node, Loop):
+                self._run_loop(node, env)
+            else:
+                self._run_statement(node, env)
+
+    def _run_loop(self, loop: Loop, env: Dict[str, int]) -> None:
+        if all(isinstance(child, Statement) for child in loop.body):
+            self._run_inner_loop(loop, env)
+            return
+        lower = int(loop.lower.evaluate(env))
+        upper = int(loop.upper.evaluate(env))
+        step = loop.step
+        overhead = self.machine.loop_overhead
+        for value in range(lower, upper + (1 if step > 0 else -1), step):
+            env[loop.var] = value
+            self.counters.loop_iterations += 1
+            self.memsys.advance(overhead)
+            self._run_nodes(loop.body, env)
+        env.pop(loop.var, None)
+
+    # -- statements outside innermost loops (scalar path) ----------------
+    def _run_statement(self, stmt: Statement, env: Dict[str, int]) -> None:
+        counters = self.counters
+        if isinstance(stmt, Prefetch):
+            addr = self._address(stmt.ref, env)
+            counters.prefetches += 1
+            layout = self.layout[stmt.ref.array]
+            if layout.base <= addr < layout.end:
+                self.memsys.access(addr, KIND_PREFETCH, 1.0)
+            else:
+                counters.dropped_prefetches += 1
+                self.memsys.advance(1.0)
+            return
+        flops = stmt.value.flops()
+        counters.flops += flops
+        issue = max(flops / self.machine.flops_per_cycle, 0.0)
+        reads = list(stmt.value.reads())
+        if not reads and not isinstance(stmt.target, ArrayRef):
+            counters.scalar_moves += 1
+            self.memsys.advance(max(issue, 0.5))
+            return
+        self.memsys.advance(issue)
+        for ref in reads:
+            counters.loads += 1
+            self.memsys.access(self._checked_address(ref, env), KIND_LOAD, 1.0)
+        if isinstance(stmt.target, ArrayRef):
+            counters.stores += 1
+            self.memsys.access(
+                self._checked_address(stmt.target, env), KIND_STORE, 1.0
+            )
+
+    # -- innermost loops (vectorized path) --------------------------------
+    def _run_inner_loop(self, loop: Loop, env: Dict[str, int]) -> None:
+        lower = int(loop.lower.evaluate(env))
+        upper = int(loop.upper.evaluate(env))
+        if loop.step > 0:
+            count = (upper - lower) // loop.step + 1 if upper >= lower else 0
+        else:
+            count = (lower - upper) // (-loop.step) + 1 if lower >= upper else 0
+        if count <= 0:
+            return
+        schedule = self._schedule_for(loop)
+        counters = self.counters
+        counters.loop_iterations += count
+        counters.flops += schedule.flops_per_iter * count
+        counters.loads += schedule.loads_per_iter * count
+        counters.stores += schedule.stores_per_iter * count
+        counters.prefetches += schedule.prefetches_per_iter * count
+        counters.scalar_moves += schedule.scalar_moves_per_iter * count
+
+        mem_ops = (
+            schedule.loads_per_iter
+            + schedule.stores_per_iter
+            + schedule.prefetches_per_iter
+        )
+        issue = iteration_issue_cycles(
+            self.machine,
+            schedule.flops_per_iter,
+            mem_ops,
+            schedule.scalar_moves_per_iter,
+            schedule.live_scalars,
+        )
+        if mem_ops == 0:
+            self.memsys.advance(issue * count)
+            return
+        cycles_per_access = issue / mem_ops
+
+        values = np.arange(lower, lower + count * loop.step, loop.step, dtype=np.int64)
+        env_vec: Dict[str, object] = dict(env)
+        env_vec[loop.var] = values
+        columns = []
+        kinds = np.empty((len(schedule.accesses),), dtype=np.int8)
+        drop_mask = None
+        for pos, access in enumerate(schedule.accesses):
+            layout = access.layout
+            offset = np.zeros(count, dtype=np.int64)
+            for index_expr, stride in zip(access.ref.indices, layout.strides):
+                idx = index_expr.evaluate(env_vec)
+                offset += (np.asarray(idx, dtype=np.int64) - 1) * stride
+            addrs = layout.base + offset * layout.element_size
+            lo = int(addrs.min())
+            hi = int(addrs.max())
+            if lo < layout.base or hi >= layout.end:
+                if access.kind == KIND_PREFETCH:
+                    bad = (addrs < layout.base) | (addrs >= layout.end)
+                    if drop_mask is None:
+                        drop_mask = np.zeros((len(schedule.accesses), count), dtype=bool)
+                    drop_mask[pos] = bad
+                    addrs = np.clip(addrs, layout.base, layout.end - 1)
+                else:
+                    raise ExecutionError(
+                        f"{access.ref} out of bounds in loop {loop.var} "
+                        f"(addresses [{lo}, {hi}] outside "
+                        f"[{layout.base}, {layout.end}))"
+                    )
+            columns.append(addrs)
+            kinds[pos] = access.kind
+        # Interleave in statement order: iteration-major, access-minor.
+        matrix = np.stack(columns, axis=1)
+        flat_addrs = matrix.reshape(-1)
+        flat_kinds = np.tile(kinds, count)
+        if drop_mask is not None:
+            keep = ~drop_mask.T.reshape(-1)
+            dropped = int((~keep).sum())
+            counters.dropped_prefetches += dropped
+            self.memsys.advance(dropped * cycles_per_access)
+            flat_addrs = flat_addrs[keep]
+            flat_kinds = flat_kinds[keep]
+        self.memsys.access_vector(flat_addrs, flat_kinds, cycles_per_access)
+
+    def _schedule_for(self, loop: Loop) -> _Schedule:
+        key = id(loop)
+        cached = self._schedules.get(key)
+        if cached is not None:
+            return cached
+        accesses: List[_Access] = []
+        flops = 0
+        loads = stores = prefetches = moves = 0
+        scalars = set(self.kernel.consts)
+        for stmt in loop.body:
+            if isinstance(stmt, Prefetch):
+                accesses.append(
+                    _Access(stmt.ref, KIND_PREFETCH, self.layout[stmt.ref.array])
+                )
+                prefetches += 1
+                continue
+            flops += stmt.value.flops()
+            stmt_reads = list(stmt.value.reads())
+            for ref in stmt_reads:
+                accesses.append(_Access(ref, KIND_LOAD, self.layout[ref.array]))
+                loads += 1
+            for name in _scalar_reads(stmt):
+                scalars.add(name)
+            if isinstance(stmt.target, ArrayRef):
+                accesses.append(_Access(stmt.target, KIND_STORE, self.layout[stmt.target.array]))
+                stores += 1
+            else:
+                scalars.add(stmt.target)
+                if not stmt_reads and stmt.value.flops() == 0:
+                    moves += 1
+        schedule = _Schedule(
+            accesses=accesses,
+            flops_per_iter=flops,
+            loads_per_iter=loads,
+            stores_per_iter=stores,
+            prefetches_per_iter=prefetches,
+            scalar_moves_per_iter=moves,
+            live_scalars=len(scalars),
+        )
+        self._schedules[key] = schedule
+        return schedule
+
+    # ------------------------------------------------------------------
+    def _address(self, ref: ArrayRef, env: Mapping[str, int]) -> int:
+        layout = self.layout[ref.array]
+        indices = tuple(int(ix.evaluate(env)) for ix in ref.indices)
+        return layout.base + layout.linear_offset(indices) * layout.element_size
+
+    def _checked_address(self, ref: ArrayRef, env: Mapping[str, int]) -> int:
+        layout = self.layout[ref.array]
+        addr = self._address(ref, env)
+        if not layout.base <= addr < layout.end:
+            raise ExecutionError(f"{ref} out of bounds (env {dict(env)})")
+        return addr
+
+
+def _scalar_reads(stmt: Assign) -> List[str]:
+    names: List[str] = []
+
+    def visit(expr) -> None:
+        if isinstance(expr, CVar):
+            names.append(expr.name)
+        elif isinstance(expr, CBin):
+            visit(expr.left)
+            visit(expr.right)
+
+    visit(stmt.value)
+    return names

@@ -1,0 +1,202 @@
+"""Multi-level memory system with timing, prefetch and bandwidth.
+
+The memory system consumes the address stream produced by the executor and
+models:
+
+* a TLB and N levels of set-associative LRU cache (line fill times kept
+  per line, so non-blocking prefetches hide latency exactly to the extent
+  the prefetch distance allows);
+* memory bandwidth — every last-level miss occupies the memory bus for
+  ``memory_cycles_per_line`` cycles and fills serialize, which is what
+  bounds streaming kernels like Jacobi;
+* (optionally, ``model_writebacks=True``) write-back traffic: stores mark
+  their last-level line dirty, and evicting a dirty line occupies the
+  memory bus for another line transfer;
+* an exact trace-collapsing fast path: a demand access to the same L1
+  line as the immediately preceding demand access is always an L1 (and
+  TLB) hit and leaves LRU state unchanged, so such runs are counted in
+  bulk without touching the simulation state.  Prefetches never collapse
+  (a prefetch followed by a same-line demand must still charge the demand
+  the in-flight fill residue).
+
+  Hit/miss and TLB counts are *exactly* those of per-access simulation.
+  Timing is exact up to an intra-batch reordering of issue cycles: the
+  collapsed accesses' issue time is charged at the start of their batch,
+  so a fill initiated mid-batch can carry a timestamp early/late by at
+  most the batch's collapsed issue time (never across batches, and zero
+  when nothing collapses).
+
+Event kinds: 0 = load, 1 = store, 2 = prefetch.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.machines import MachineSpec
+from repro.sim.cache import CacheState
+
+__all__ = ["KIND_LOAD", "KIND_STORE", "KIND_PREFETCH", "MemorySystem"]
+
+KIND_LOAD = 0
+KIND_STORE = 1
+KIND_PREFETCH = 2
+
+
+class MemorySystem:
+    """Simulation state for the full hierarchy of one machine."""
+
+    def __init__(self, machine: MachineSpec, model_writebacks: bool = False) -> None:
+        self.machine = machine
+        self.model_writebacks = model_writebacks
+        self.writebacks = 0
+        self._dirty = set()
+        self.caches = [CacheState(spec) for spec in machine.caches]
+        # The TLB is modelled as a cache of pages: one "line" per page.
+        tlb = machine.tlb
+        self.tlb_sets: List[dict] = [dict() for _ in range(tlb.num_sets)]
+        self.tlb_set_mask = tlb.num_sets - 1
+        self.tlb_assoc = tlb.associativity
+        self.tlb_hits = 0
+        self.tlb_misses = 0
+        self.page_bits = tlb.page_size.bit_length() - 1
+        self.now = 0.0
+        self.bus_free = 0.0
+        self.stall_cycles = 0.0
+        self.tlb_stall_cycles = 0.0
+        self._last_demand_line = -1
+
+    # -- bulk interface ----------------------------------------------------
+    def advance(self, cycles: float) -> None:
+        """Account non-memory issue time (loop overhead, fp work)."""
+        self.now += cycles
+
+    def access_vector(
+        self,
+        addresses: np.ndarray,
+        kinds: np.ndarray,
+        cycles_per_access: float,
+    ) -> None:
+        """Process an ordered event batch.
+
+        ``cycles_per_access`` is each event's share of the issue time of
+        its loop iteration (the CPU model computes it from the loop body's
+        fp/memory balance).
+        """
+        if len(addresses) == 0:
+            return
+        l1 = self.caches[0]
+        lines = addresses >> l1.line_bits
+        demand = kinds != KIND_PREFETCH
+        # Collapse runs of equal consecutive demand lines (exact: see module
+        # docstring).  Prefetch positions are always kept.
+        keep = np.ones(len(addresses), dtype=bool)
+        demand_idx = np.nonzero(demand)[0]
+        if len(demand_idx):
+            demand_lines = lines[demand_idx]
+            same = np.empty(len(demand_idx), dtype=bool)
+            same[0] = demand_lines[0] == self._last_demand_line
+            np.equal(demand_lines[1:], demand_lines[:-1], out=same[1:])
+            keep[demand_idx[same]] = False
+            self._last_demand_line = int(demand_lines[-1])
+        dropped = int(len(addresses) - keep.sum())
+        if dropped:
+            # Collapsed accesses are L1 and TLB hits with no stall.
+            l1.hits += dropped
+            self.tlb_hits += dropped
+            self.now += dropped * cycles_per_access
+        kept_addrs = addresses[keep]
+        kept_kinds = kinds[keep]
+        access_one = self._access_one
+        for addr, kind in zip(kept_addrs.tolist(), kept_kinds.tolist()):
+            access_one(addr, kind, cycles_per_access)
+
+    def access(self, address: int, kind: int, cycles_per_access: float = 1.0) -> None:
+        """Process one event (scalar path, used outside inner loops)."""
+        l1 = self.caches[0]
+        line = address >> l1.line_bits
+        if kind != KIND_PREFETCH:
+            if line == self._last_demand_line:
+                l1.hits += 1
+                self.tlb_hits += 1
+                self.now += cycles_per_access
+                return
+            self._last_demand_line = line
+        self._access_one(address, kind, cycles_per_access)
+
+    # -- core simulation ----------------------------------------------------
+    def _tlb_access(self, page: int) -> bool:
+        """True on TLB hit.  LRU within the page's set."""
+        ways = self.tlb_sets[page & self.tlb_set_mask]
+        if page in ways:
+            del ways[page]
+            ways[page] = True
+            self.tlb_hits += 1
+            return True
+        self.tlb_misses += 1
+        if len(ways) >= self.tlb_assoc:
+            del ways[next(iter(ways))]
+        ways[page] = True
+        return False
+
+    def _access_one(self, addr: int, kind: int, cycles_per_access: float) -> None:
+        now = self.now + cycles_per_access
+        prefetch = kind == KIND_PREFETCH
+        if not self._tlb_access(addr >> self.page_bits) and not prefetch:
+            # Demand TLB miss stalls for the table walk; a prefetch's walk
+            # happens off the critical path.
+            now += self.machine.tlb.miss_penalty
+            self.tlb_stall_cycles += self.machine.tlb.miss_penalty
+        if self.model_writebacks and kind == KIND_STORE:
+            last = self.caches[-1]
+            self._dirty.add(addr >> last.line_bits)
+        l1 = self.caches[0]
+        line = addr >> l1.line_bits
+        pending = l1.lookup(line)
+        if pending is not None:
+            if not prefetch and pending > now:
+                self.stall_cycles += pending - now
+                now = pending
+        else:
+            fill = self._fill_from(addr, now, 1)
+            fill += l1.spec.latency
+            l1.insert(line, fill)
+            if not prefetch:
+                self.stall_cycles += fill - now
+                now = fill
+        self.now = now
+
+    def _fill_from(self, addr: int, now: float, level: int) -> float:
+        """Completion time of a fill serviced by cache ``level`` (0-based
+        index into ``caches``; == len(caches) means main memory)."""
+        if level >= len(self.caches):
+            start = max(now, self.bus_free)
+            self.bus_free = start + self.machine.memory_cycles_per_line
+            return start + self.machine.memory_latency
+        cache = self.caches[level]
+        line = addr >> cache.line_bits
+        pending = cache.lookup(line)
+        if pending is not None:
+            return max(now + cache.spec.latency, pending)
+        fill = self._fill_from(addr, now + cache.spec.latency, level + 1)
+        evicted = cache.insert(line, fill)
+        if (
+            self.model_writebacks
+            and evicted is not None
+            and level == len(self.caches) - 1
+            and evicted in self._dirty
+        ):
+            # Dirty line leaves the hierarchy: one more bus transfer.
+            self._dirty.discard(evicted)
+            self.writebacks += 1
+            self.bus_free = max(self.bus_free, now) + self.machine.memory_cycles_per_line
+        return fill
+
+    # -- results -------------------------------------------------------------
+    def miss_counts(self) -> Tuple[int, ...]:
+        return tuple(cache.misses for cache in self.caches)
+
+    def hit_counts(self) -> Tuple[int, ...]:
+        return tuple(cache.hits for cache in self.caches)

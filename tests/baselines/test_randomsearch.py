@@ -1,0 +1,49 @@
+"""Random-search baseline tests."""
+
+import math
+
+import pytest
+
+from repro.baselines import RandomSearch
+from repro.kernels import matmul
+from repro.machines import get_machine
+
+SGI = get_machine("sgi")
+
+
+class TestRandomSearch:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return RandomSearch(matmul(), SGI, seed=3).run({"N": 24}, budget=25)
+
+    def test_finds_something_within_budget(self, result):
+        assert result.found_any
+        assert result.points == 25
+        assert 0 <= result.wasted < 25
+
+    def test_deterministic_by_seed(self):
+        a = RandomSearch(matmul(), SGI, seed=9).run({"N": 16}, budget=10)
+        b = RandomSearch(matmul(), SGI, seed=9).run({"N": 16}, budget=10)
+        assert a.cycles == b.cycles and a.values == b.values
+
+    def test_different_seeds_differ(self):
+        a = RandomSearch(matmul(), SGI, seed=1).run({"N": 16}, budget=8)
+        b = RandomSearch(matmul(), SGI, seed=2).run({"N": 16}, budget=8)
+        assert a.values != b.values or a.cycles != b.cycles
+
+    def test_guided_search_beats_random_at_same_budget(self):
+        """The paper's thesis: domain knowledge makes the search tractable."""
+        from repro.core import EcoOptimizer, SearchConfig
+
+        problem = {"N": 32}
+        eco = EcoOptimizer(
+            matmul(), SGI, SearchConfig(full_search_variants=2)
+        ).optimize(problem)
+        budget = eco.result.points
+        random_result = RandomSearch(matmul(), SGI, seed=0).run(problem, budget)
+        assert eco.result.cycles <= random_result.cycles
+
+    def test_zero_budget(self):
+        result = RandomSearch(matmul(), SGI).run({"N": 16}, budget=0)
+        assert not result.found_any
+        assert math.isinf(result.cycles)

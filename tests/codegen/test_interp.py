@@ -1,0 +1,134 @@
+"""Interpreter tests against independent numpy references."""
+
+import numpy as np
+import pytest
+
+from repro.codegen.interp import InterpreterError, allocate_arrays, run_kernel
+from repro.ir import builder as B
+from repro.ir.expr import Var
+from repro.kernels import jacobi, matmul, matvec, stencil2d
+
+from tests.reference import jacobi_ref, matmul_ref, matvec_ref, stencil2d_ref
+
+
+class TestAllocate:
+    def test_shapes_and_order(self, mm_kernel):
+        arrays = allocate_arrays(mm_kernel, {"N": 5})
+        assert set(arrays) == {"A", "B", "C"}
+        assert arrays["A"].shape == (5, 5)
+        assert arrays["A"].flags.f_contiguous
+
+    def test_deterministic_by_seed(self, mm_kernel):
+        a1 = allocate_arrays(mm_kernel, {"N": 4}, seed=3)
+        a2 = allocate_arrays(mm_kernel, {"N": 4}, seed=3)
+        np.testing.assert_array_equal(a1["A"], a2["A"])
+
+    def test_temps_excluded_by_default(self, mm_kernel):
+        k = mm_kernel.with_array(B.array("P", 4, 4, temp=True))
+        assert "P" not in allocate_arrays(k, {"N": 4})
+        assert "P" in allocate_arrays(k, {"N": 4}, include_temps=True)
+
+
+class TestKernelSemantics:
+    def test_matmul_matches_numpy(self, mm_data, mm_kernel):
+        params, arrays = mm_data
+        out = run_kernel(mm_kernel, params, arrays)
+        np.testing.assert_allclose(
+            out["C"], matmul_ref(arrays["A"], arrays["B"], arrays["C"]), rtol=1e-12
+        )
+
+    def test_matmul_inputs_unchanged(self, mm_data, mm_kernel):
+        params, arrays = mm_data
+        before = arrays["A"].copy()
+        run_kernel(mm_kernel, params, arrays)
+        np.testing.assert_array_equal(arrays["A"], before)
+
+    def test_jacobi_matches_numpy(self, jacobi_data, jacobi_kernel):
+        params, arrays = jacobi_data
+        arrays = dict(arrays)
+        arrays["A"] = np.zeros_like(arrays["A"])
+        out = run_kernel(jacobi_kernel, params, arrays, consts={"c": 0.5})
+        np.testing.assert_allclose(out["A"], jacobi_ref(arrays["B"], 0.5), rtol=1e-12)
+
+    def test_matvec_matches_numpy(self):
+        k = matvec()
+        arrays = allocate_arrays(k, {"N": 6}, seed=2)
+        out = run_kernel(k, {"N": 6}, arrays)
+        np.testing.assert_allclose(
+            out["y"], matvec_ref(arrays["A"], arrays["x"], arrays["y"]), rtol=1e-12
+        )
+
+    def test_stencil2d_matches_numpy(self):
+        k = stencil2d()
+        arrays = allocate_arrays(k, {"N": 9}, seed=4)
+        arrays["A"] = np.zeros_like(arrays["A"])
+        out = run_kernel(k, {"N": 9}, arrays, consts={"c": 0.25})
+        np.testing.assert_allclose(out["A"], stencil2d_ref(arrays["B"], 0.25), rtol=1e-12)
+
+    def test_flop_basis_matches_actual(self):
+        """The declared flop basis equals ops counted in the one statement
+        times the iteration count (mm at N=5: 2 flops * 125 iterations)."""
+        mm = matmul()
+        assert mm.flop_basis.evaluate({"N": 5}) == 250
+
+
+class TestInterpreterErrors:
+    def test_missing_const(self, jacobi_data, jacobi_kernel):
+        params, arrays = jacobi_data
+        with pytest.raises(InterpreterError, match="constants not bound"):
+            run_kernel(jacobi_kernel, params, arrays)
+
+    def test_missing_input_array(self, mm_kernel):
+        with pytest.raises(InterpreterError, match="not provided"):
+            run_kernel(mm_kernel, {"N": 4}, {})
+
+    def test_wrong_shape(self, mm_kernel):
+        arrays = allocate_arrays(mm_kernel, {"N": 4})
+        arrays["A"] = np.zeros((3, 3))
+        with pytest.raises(InterpreterError, match="shape"):
+            run_kernel(mm_kernel, {"N": 4}, arrays)
+
+    def test_out_of_bounds_is_caught(self):
+        N = Var("N")
+        I = Var("I")
+        k = B.kernel(
+            "oob",
+            params=("N",),
+            arrays=(B.array("A", N),),
+            body=B.loop("I", 1, N, B.assign(B.aref("A", I + 1), B.num(0))),
+        )
+        arrays = allocate_arrays(k, {"N": 4})
+        with pytest.raises(InterpreterError, match="out of bounds"):
+            run_kernel(k, {"N": 4}, arrays)
+
+    def test_temp_arrays_autoallocated(self):
+        N = Var("N")
+        I = Var("I")
+        k = B.kernel(
+            "cp",
+            params=("N",),
+            arrays=(B.array("A", N), B.array("P", N, temp=True)),
+            body=(
+                B.loop("I", 1, N, B.assign(B.aref("P", I), B.read("A", I)), role="copy"),
+                B.loop("I2", 1, N, B.assign(B.aref("A", Var("I2")), B.read("P", Var("I2")))),
+            ),
+        )
+        arrays = allocate_arrays(k, {"N": 4}, seed=1)
+        out = run_kernel(k, {"N": 4}, arrays)
+        np.testing.assert_array_equal(out["A"], arrays["A"])
+        np.testing.assert_array_equal(out["P"], arrays["A"])
+
+    def test_negative_step_loop(self):
+        N = Var("N")
+        I = Var("I")
+        k = B.kernel(
+            "rev",
+            params=("N",),
+            arrays=(B.array("A", N),),
+            body=B.loop("I", N, 1, B.assign(B.aref("A", I), B.scalar("c") * 1.0),
+                        step=-1),
+            consts=("c",),
+        )
+        arrays = allocate_arrays(k, {"N": 4})
+        out = run_kernel(k, {"N": 4}, arrays, consts={"c": 2.0})
+        np.testing.assert_array_equal(out["A"], np.full(4, 2.0))

@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codegen.interp import allocate_arrays
+from repro.kernels import jacobi, matmul, matvec, stencil2d
+
+
+@pytest.fixture
+def mm_kernel():
+    return matmul()
+
+
+@pytest.fixture
+def jacobi_kernel():
+    return jacobi()
+
+
+@pytest.fixture
+def matvec_kernel():
+    return matvec()
+
+
+@pytest.fixture
+def stencil2d_kernel():
+    return stencil2d()
+
+
+@pytest.fixture
+def mm_data(mm_kernel):
+    """Small matrix-multiply inputs (N=7, deliberately not a multiple of
+    common tile sizes, to exercise remainder handling)."""
+    params = {"N": 7}
+    return params, allocate_arrays(mm_kernel, params, seed=7)
+
+
+@pytest.fixture
+def jacobi_data(jacobi_kernel):
+    params = {"N": 8}
+    return params, allocate_arrays(jacobi_kernel, params, seed=11)

@@ -1,0 +1,143 @@
+"""Variant derivation tests: the algorithm must reproduce Table 4."""
+
+import pytest
+
+from repro.core.derive import derive_variants
+from repro.core.variants import Variant
+from repro.kernels import jacobi, matmul, matvec
+from repro.machines import SGI_R10K, get_machine
+
+
+@pytest.fixture(scope="module")
+def mm_variants():
+    return derive_variants(matmul(), SGI_R10K, max_variants=20)
+
+
+@pytest.fixture(scope="module")
+def jacobi_variants():
+    return derive_variants(jacobi(), SGI_R10K, max_variants=20)
+
+
+class TestMatmulVariants:
+    def test_register_level_is_k_for_all(self, mm_variants):
+        assert all(v.register_loop == "K" for v in mm_variants)
+        assert all(v.point_order[-1] == "K" for v in mm_variants)
+
+    def test_unrolls_are_i_and_j(self, mm_variants):
+        for v in mm_variants:
+            assert dict(v.unrolls) == {"I": "UI", "J": "UJ"}
+
+    def test_register_constraint_matches_table4(self, mm_variants):
+        for v in mm_variants:
+            reg = [c for c in v.constraints if "register" in c.label]
+            assert len(reg) == 1
+            assert reg[0].satisfied({"UI": 4, "UJ": 8})
+            assert not reg[0].satisfied({"UI": 8, "UJ": 8})
+
+    def test_paper_v1_is_derived(self, mm_variants):
+        """Table 4 v1: L1 loop I, tile J and K, copy B; L2 loop J, no tiling."""
+        matches = [
+            v for v in mm_variants
+            if v.point_order == ("I", "J", "K")
+            and set(dict(v.tiles)) == {"J", "K"}
+            and [c.array for c in v.copies] == ["B"]
+        ]
+        assert matches, "paper's v1 missing"
+        v1 = matches[0]
+        assert v1.control_order == ("K", "J")
+        # Constraint TJ*TK <= 2048 on the real SGI (16KB usable L1 / 8B).
+        l1 = next(c for c in v1.constraints if "L1" in c.label)
+        assert l1.satisfied({"TJ": 32, "TK": 64})
+        assert not l1.satisfied({"TJ": 64, "TK": 64})
+
+    def test_paper_v2_is_derived(self, mm_variants):
+        """Table 4 v2: L1 loop J (copy A), L2 loop I (copy B), 3-level tiling."""
+        matches = [
+            v for v in mm_variants
+            if v.point_order == ("J", "I", "K")
+            and set(dict(v.tiles)) == {"I", "J", "K"}
+            and sorted(c.array for c in v.copies) == ["A", "B"]
+        ]
+        assert matches, "paper's v2 missing"
+        v2 = matches[0]
+        assert v2.control_order == ("K", "J", "I")
+
+    def test_copy_temps_are_unique(self, mm_variants):
+        for v in mm_variants:
+            temps = [c.temp for c in v.copies]
+            assert len(temps) == len(set(temps))
+
+    def test_small_array_variant_has_size_dependent_constraint(self, mm_variants):
+        untiled = [
+            v for v in mm_variants
+            if any(level.transform == "-" for level in v.levels)
+        ]
+        assert untiled, "no v1-style (untiled L2) variant"
+        for v in untiled:
+            symbolic = [c for c in v.constraints if "N" in c.expr.free_vars()]
+            assert symbolic, "untiled level must constrain the problem size"
+            # Feasible for small N, infeasible for large N (L2 = 128K elems).
+            c = symbolic[0]
+            assert c.satisfied({"N": 100})
+            assert not c.satisfied({"N": 1000})
+
+    def test_variant_names_sequential(self, mm_variants):
+        assert [v.name for v in mm_variants] == [f"v{i+1}" for i in range(len(mm_variants))]
+
+
+class TestJacobiVariants:
+    def test_multiple_loop_orders(self, jacobi_variants):
+        orders = {v.point_order for v in jacobi_variants}
+        assert len(orders) >= 3  # §4.2: variants with different loop orders
+
+    def test_no_copy_variants(self, jacobi_variants):
+        # The paper rejects copying for Jacobi; here no copy plan is even
+        # constructible (the I dimension stays untiled / multi-loop dims).
+        assert all(not v.copies for v in jacobi_variants)
+
+    def test_no_two_level_tiling(self, jacobi_variants):
+        """§4.2: variants tiling both L1 and L2 are pruned for 3-D data."""
+        for v in jacobi_variants:
+            tiled_levels = [
+                level for level in v.levels if level.level != "Reg" and level.params
+            ]
+            assert len(tiled_levels) <= 1
+
+    def test_figure_2b_variant_present(self, jacobi_variants):
+        matches = [
+            v for v in jacobi_variants
+            if v.point_order == ("K", "J", "I")
+            and set(dict(v.tiles)) == {"J"}
+            and v.register_loop == "I"
+        ]
+        assert matches, "Figure 2(b) variant (tile J only, I innermost) missing"
+
+    def test_register_footprint_counts_rotation_planes(self, jacobi_variants):
+        v = next(v for v in jacobi_variants if v.register_loop == "I")
+        reg = next(c for c in v.constraints if "register" in c.label)
+        # 3 planes * UJ * UK scalars: UJ=UK=3 -> 27 <= 32 ok; 4x3 -> 36 no.
+        assert reg.satisfied({"UJ": 3, "UK": 3})
+        assert not reg.satisfied({"UJ": 4, "UK": 3})
+
+
+class TestOtherKernels:
+    def test_matvec_derives_variants(self):
+        variants = derive_variants(matvec(), SGI_R10K)
+        assert variants
+        assert all(v.register_loop == "J" for v in variants)
+
+    def test_max_variants_cap(self):
+        variants = derive_variants(matmul(), SGI_R10K, max_variants=3)
+        assert len(variants) == 3
+
+    def test_mini_machine_scales_constraints(self):
+        mini = get_machine("sgi")
+        variants = derive_variants(matmul(), mini)
+        v1like = next(
+            v for v in variants
+            if v.point_order == ("I", "J", "K") and set(dict(v.tiles)) == {"J", "K"}
+        )
+        l1 = next(c for c in v1like.constraints if "L1" in c.label)
+        # Mini L1 usable = 1KB = 128 elements.
+        assert l1.satisfied({"TJ": 8, "TK": 16})
+        assert not l1.satisfied({"TJ": 16, "TK": 16})

@@ -1,0 +1,79 @@
+"""Variant-derivation edge cases beyond the paper's kernels."""
+
+import pytest
+
+from repro.core import EcoOptimizer, SearchConfig, derive_variants
+from repro.ir import builder as B
+from repro.ir.expr import Var
+from repro.machines import get_machine
+from repro.sim import execute
+
+SGI = get_machine("sgi")
+N = Var("N")
+I, J = Var("I"), Var("J")
+
+
+def _vector_scale():
+    return B.kernel(
+        "scale",
+        params=("N",),
+        arrays=(B.array("A", N),),
+        body=B.loop("I", 1, N, B.assign(B.aref("A", I), 2.0 * B.read("A", I))),
+    )
+
+
+def _no_reuse_copy():
+    return B.kernel(
+        "vcopy",
+        params=("N",),
+        arrays=(B.array("A", N, N), B.array("Z", N, N)),
+        body=B.loop(
+            "J", 1, N, B.loop("I", 1, N, B.assign(B.aref("Z", I, J), B.read("A", I, J) + 0.0))
+        ),
+    )
+
+
+class TestSingleLoopKernel:
+    def test_derives_and_tunes(self):
+        kernel = _vector_scale()
+        variants = derive_variants(kernel, SGI)
+        assert variants and variants[0].register_loop == "I"
+        assert variants[0].unrolls == ()
+        eco = EcoOptimizer(kernel, SGI, SearchConfig(full_search_variants=1))
+        tuned = eco.optimize({"N": 64})
+        naive = execute(kernel, {"N": 64}, SGI)
+        assert tuned.result.cycles <= naive.cycles
+
+    def test_prefetch_is_the_only_lever(self):
+        kernel = _vector_scale()
+        eco = EcoOptimizer(kernel, SGI, SearchConfig(full_search_variants=1))
+        tuned = eco.optimize({"N": 64})
+        # A streaming kernel's only win is prefetching.
+        assert tuned.result.prefetch
+
+
+class TestNoTemporalReuseKernel:
+    def test_derives_without_crash(self):
+        variants = derive_variants(_no_reuse_copy(), SGI)
+        assert variants
+
+    def test_tunes_and_matches_semantics(self):
+        import numpy as np
+
+        from repro.codegen.interp import allocate_arrays, run_kernel
+
+        kernel = _no_reuse_copy()
+        eco = EcoOptimizer(kernel, SGI, SearchConfig(full_search_variants=1))
+        tuned = eco.optimize({"N": 32})
+        built = tuned.build()
+        arrays = allocate_arrays(kernel, {"N": 9}, seed=3)
+        ref = run_kernel(kernel, {"N": 9}, arrays)
+        got = run_kernel(built, {"N": 9}, arrays)
+        np.testing.assert_array_equal(ref["Z"], got["Z"])
+
+
+class TestMaxVariantsOrdering:
+    def test_preference_order_stable(self):
+        full = derive_variants(_no_reuse_copy(), SGI, max_variants=20)
+        capped = derive_variants(_no_reuse_copy(), SGI, max_variants=2)
+        assert [v.point_order for v in capped] == [v.point_order for v in full[:2]]

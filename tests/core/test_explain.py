@@ -1,0 +1,44 @@
+"""Optimization report tests."""
+
+import pytest
+
+from repro.core import EcoOptimizer, SearchConfig, explain
+from repro.kernels import matvec
+from repro.machines import get_machine
+
+
+@pytest.fixture(scope="module")
+def tuned():
+    machine = get_machine("sgi")
+    return EcoOptimizer(
+        matvec(), machine, SearchConfig(full_search_variants=1)
+    ).optimize({"N": 48})
+
+
+class TestExplain:
+    def test_report_sections(self, tuned):
+        text = explain(tuned)
+        assert "Optimization report: matvec" in text
+        assert "Selected v" in text
+        assert "Chosen parameters" in text
+        assert "Search:" in text
+        assert "Measured at" in text
+        assert "MFLOPS" in text
+
+    def test_constraints_substituted(self, tuned):
+        text = explain(tuned)
+        assert "[ok]" in text
+        assert "VIOLATED" not in text
+
+    def test_counter_table_has_all_rows(self, tuned):
+        text = explain(tuned)
+        for label in ("loads", "L1 misses", "L2 misses", "TLB misses", "cycles"):
+            assert label in text
+
+    def test_explicit_problem_size(self, tuned):
+        text = explain(tuned, {"N": 32})
+        assert "{'N': 32}" in text
+
+    def test_speedup_reported(self, tuned):
+        text = explain(tuned)
+        assert "x" in text.splitlines()[-2]  # the MFLOPS speedup line

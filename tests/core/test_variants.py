@@ -1,0 +1,99 @@
+"""Variant instantiation tests: recipes produce correct, complete code."""
+
+import numpy as np
+import pytest
+
+from repro.codegen.interp import allocate_arrays, run_kernel
+from repro.core import PrefetchSite, derive_variants, instantiate, prefetch_sites
+from repro.core.variants import Constraint, control_name
+from repro.ir.expr import Const, Var
+from repro.ir.nest import Prefetch, walk_loops, walk_statements
+from repro.kernels import jacobi, matmul
+from repro.machines import SGI_R10K, get_machine
+
+
+@pytest.fixture(scope="module")
+def mm_variants():
+    return derive_variants(matmul(), get_machine("sgi"), max_variants=20)
+
+
+def _assert_equiv(kernel, inst, params, consts=None):
+    arrays = allocate_arrays(kernel, params, seed=3)
+    ref = run_kernel(kernel, params, arrays, consts)
+    out = run_kernel(inst, params, arrays, consts)
+    for decl in kernel.arrays:
+        if not decl.temp:
+            np.testing.assert_array_equal(ref[decl.name], out[decl.name])
+
+
+class TestInstantiate:
+    def test_every_mm_variant_is_correct(self, mm_variants):
+        mm = matmul()
+        values = {"TI": 4, "TJ": 4, "TK": 4, "UI": 2, "UJ": 2}
+        for variant in mm_variants:
+            needed = {p: values[p] for p in variant.param_names}
+            inst = instantiate(mm, variant, needed, get_machine("sgi"))
+            _assert_equiv(mm, inst, {"N": 7})
+
+    def test_every_jacobi_variant_is_correct(self):
+        jac = jacobi()
+        machine = get_machine("sgi")
+        values = {"TI": 3, "TJ": 3, "TK": 3, "UI": 2, "UJ": 2, "UK": 2}
+        for variant in derive_variants(jac, machine, max_variants=20):
+            needed = {p: values[p] for p in variant.param_names}
+            inst = instantiate(jac, variant, needed, machine)
+            _assert_equiv(jac, inst, {"N": 9}, consts={"c": 0.5})
+
+    def test_prefetch_inserted(self, mm_variants):
+        mm = matmul()
+        variant = mm_variants[0]
+        values = {p: 4 for p in variant.param_names}
+        site = PrefetchSite("A", variant.register_loop)
+        inst = instantiate(mm, variant, values, get_machine("sgi"), {site: 2})
+        names = {s.ref.array for s in walk_statements(inst.body) if isinstance(s, Prefetch)}
+        assert "A" in names or not names  # A may be copied in this variant
+
+    def test_missing_parameter_raises(self, mm_variants):
+        with pytest.raises(KeyError):
+            instantiate(matmul(), mm_variants[0], {}, get_machine("sgi"))
+
+    def test_control_name(self):
+        assert control_name("K") == "KK"
+
+    def test_copy_temp_declared(self, mm_variants):
+        mm = matmul()
+        with_copy = next(v for v in mm_variants if v.copies)
+        values = {p: 4 for p in with_copy.param_names}
+        inst = instantiate(mm, with_copy, values, get_machine("sgi"))
+        for plan in with_copy.copies:
+            assert inst.array(plan.temp).temp
+
+
+class TestConstraint:
+    def test_satisfied(self):
+        c = Constraint(Var("X") * Var("Y"), Const(16), "X*Y <= 16")
+        assert c.satisfied({"X": 4, "Y": 4})
+        assert not c.satisfied({"X": 4, "Y": 5})
+
+    def test_feasible_skips_unbound(self, mm_variants):
+        v = mm_variants[0]
+        # N-dependent constraints are skipped when N is not provided.
+        assert v.feasible({p: 2 for p in v.param_names})
+
+    def test_describe_mentions_constraints(self, mm_variants):
+        text = mm_variants[0].describe()
+        assert "register file" in text
+        assert "Reg" in text
+
+
+class TestPrefetchSites:
+    def test_sites_cover_arrays_and_temps(self, mm_variants):
+        mm = matmul()
+        with_copy = next(v for v in mm_variants if v.copies)
+        sites = prefetch_sites(mm, with_copy)
+        arrays = {s.array for s in sites}
+        assert with_copy.copies[0].temp in arrays
+        assert with_copy.copies[0].array in arrays
+        # The copied array's site is its copy loop, not the register loop.
+        copied = next(s for s in sites if s.array == with_copy.copies[0].array)
+        assert copied.loop.startswith("c")

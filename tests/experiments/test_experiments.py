@@ -1,0 +1,92 @@
+"""Experiment module tests (structure and CLI plumbing).
+
+Full-fidelity shape assertions live in ``benchmarks/``; these tests check
+that each experiment runs end-to-end on tiny inputs and produces
+well-formed results.
+"""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig, default_config
+from repro.experiments.table1 import JACOBI_VERSIONS, MM_VERSIONS, run_table1, run_version
+from repro.experiments.table4 import run_table4
+from repro.machines import get_machine
+
+TINY = ExperimentConfig(
+    mm_sizes=(8, 16),
+    mm_tuning_size=16,
+    jacobi_sizes=(8, 10),
+    jacobi_tuning_size=8,
+    table1_mm_size=24,
+    table1_jacobi_size=12,
+)
+
+
+class TestConfig:
+    def test_default_config_modes(self):
+        full = default_config(fast=False)
+        fast = default_config(fast=True)
+        assert len(full.mm_sizes) > len(fast.mm_sizes)
+        assert fast.fast and not full.fast
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAST", "1")
+        assert default_config().fast
+
+
+class TestTable1:
+    def test_version_lists_match_paper_counts(self):
+        assert len(MM_VERSIONS) == 5
+        assert len(JACOBI_VERSIONS) == 6
+        assert MM_VERSIONS[4].prefetch and not MM_VERSIONS[3].prefetch
+
+    def test_rows_shape(self):
+        rows = run_table1("sgi", TINY)
+        assert len(rows) == 11
+        assert {"Version", "Loads", "L1 misses", "L2 misses", "TLB misses",
+                "Cycles"} <= set(rows[0])
+
+    def test_run_version_mm_and_jacobi(self):
+        machine = get_machine("sgi")
+        mm = run_version("mm", MM_VERSIONS[0], 16, machine)
+        assert mm.loads > 0
+        jac = run_version("jacobi", JACOBI_VERSIONS[1], 10, machine)
+        assert jac.prefetches > 0
+
+
+class TestTable4:
+    def test_full_sgi_derivation(self):
+        result = run_table4("sgi-full")
+        assert result["paper_v1"] is not None
+        assert result["paper_v2"] is not None
+        assert len(result["variants"]) >= 2
+
+    def test_mini_machine_also_works(self):
+        result = run_table4("sgi")
+        assert result["variants"]
+
+
+class TestMains:
+    def test_table1_main_prints(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_FAST", "1")
+        import repro.experiments.table1 as t1
+
+        monkeypatch.setattr(t1, "default_config", lambda: TINY)
+        t1.main([])
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "mm5" in out
+
+    def test_table4_main_prints(self, capsys):
+        import repro.experiments.table4 as t4
+
+        t4.main([])
+        out = capsys.readouterr().out
+        assert "paper's v1" in out or "<-- paper's v1" in out
+
+    def test_table1_csv_output(self, tmp_path, monkeypatch):
+        import repro.experiments.table1 as t1
+
+        monkeypatch.setattr(t1, "default_config", lambda: TINY)
+        path = tmp_path / "t1.csv"
+        t1.main(["sgi", str(path)])
+        assert path.exists() and path.read_text().startswith("Version")

@@ -1,0 +1,67 @@
+"""Report helper tests."""
+
+import csv
+
+from repro.experiments.report import format_series, format_table, header, write_csv
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_alignment_and_formatting(self):
+        rows = [
+            {"name": "a", "count": 1234567, "rate": 12.345},
+            {"name": "bb", "count": 1, "rate": 0.5},
+        ]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].split() == ["name", "count", "rate"]
+        assert "1,234,567" in text
+        assert "12.3" in text
+        # All rows share the same width.
+        assert len({len(line) for line in lines}) == 1
+
+    def test_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_missing_cells_blank(self):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        text = format_table(rows, columns=["a", "b"])
+        assert text  # renders without KeyError
+
+
+class TestFormatSeries:
+    def test_rows_per_x(self):
+        text = format_series("N", [8, 16], {"ECO": [1.0, 2.0], "Native": [0.5, 0.7]})
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert "ECO" in lines[0] and "Native" in lines[0]
+        assert lines[1].strip().startswith("8")
+
+    def test_bar_scales_with_first_series(self):
+        text = format_series("N", [1, 2], {"S": [1.0, 10.0]}, width=10)
+        lines = text.splitlines()
+        assert lines[2].count("#") == 10
+        assert lines[1].count("#") == 1
+
+
+class TestCsvAndHeader:
+    def test_write_csv_roundtrip(self, tmp_path):
+        rows = [{"x": 1, "y": "a"}, {"x": 2, "y": "b"}]
+        path = tmp_path / "out.csv"
+        write_csv(str(path), rows)
+        with open(path) as handle:
+            got = list(csv.DictReader(handle))
+        assert got == [{"x": "1", "y": "a"}, {"x": "2", "y": "b"}]
+
+    def test_write_csv_empty_noop(self, tmp_path):
+        path = tmp_path / "none.csv"
+        write_csv(str(path), [])
+        assert not path.exists()
+
+    def test_header(self):
+        text = header("Title", "machine-desc")
+        assert "Title" in text and "machine-desc" in text

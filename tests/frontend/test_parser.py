@@ -1,0 +1,180 @@
+"""Frontend DSL parser tests."""
+
+import numpy as np
+import pytest
+
+from repro.codegen.interp import allocate_arrays, run_kernel
+from repro.frontend import ParseError, parse_kernel
+from repro.ir.nest import Loop, Prefetch, loop_order
+from repro.kernels import jacobi, matmul
+
+MM_SOURCE = """
+kernel mm(N):
+    array A[N, N], B[N, N], C[N, N]
+    do K = 1, N:
+        do J = 1, N:
+            do I = 1, N:
+                C[I, J] = C[I, J] + A[I, K] * B[K, J]
+"""
+
+JACOBI_SOURCE = """
+kernel jacobi(N):
+    const c
+    array A[N, N, N], B[N, N, N]
+    do K = 2, N - 1:
+        do J = 2, N - 1:
+            do I = 2, N - 1:
+                A[I, J, K] = c * (B[I-1, J, K] + B[I+1, J, K] + B[I, J-1, K] + B[I, J+1, K] + B[I, J, K-1] + B[I, J, K+1])
+"""
+
+
+class TestParseStructure:
+    def test_mm_parses(self):
+        kernel = parse_kernel(MM_SOURCE)
+        assert kernel.name == "mm"
+        assert kernel.params == ("N",)
+        assert {a.name for a in kernel.arrays} == {"A", "B", "C"}
+        assert loop_order(kernel) == ("K", "J", "I")
+
+    def test_parsed_mm_matches_builder_mm(self):
+        parsed = parse_kernel(MM_SOURCE)
+        built = matmul()
+        assert parsed.body == built.body
+        assert parsed.arrays == built.arrays
+
+    def test_parsed_jacobi_matches_builder(self):
+        parsed = parse_kernel(JACOBI_SOURCE)
+        built = jacobi()
+        assert parsed.body == built.body
+        assert parsed.consts == ("c",)
+
+    def test_parsed_kernel_executes_correctly(self):
+        parsed = parse_kernel(MM_SOURCE)
+        arrays = allocate_arrays(parsed, {"N": 6}, seed=2)
+        out = run_kernel(parsed, {"N": 6}, arrays)
+        np.testing.assert_allclose(
+            out["C"], arrays["C"] + arrays["A"] @ arrays["B"], rtol=1e-12
+        )
+
+    def test_comments_and_blank_lines_ignored(self):
+        source = MM_SOURCE.replace(
+            "array A[N, N]", "# a comment\n    array A[N, N]"
+        )
+        assert parse_kernel(source).name == "mm"
+
+    def test_negative_step(self):
+        source = """
+kernel rev(N):
+    array A[N]
+    do I = N, 1, -1:
+        A[I] = 1.0
+"""
+        kernel = parse_kernel(source)
+        loop = kernel.body[0]
+        assert isinstance(loop, Loop) and loop.step == -1
+
+    def test_prefetch_statement(self):
+        source = """
+kernel pf(N):
+    array A[N]
+    do I = 1, N:
+        prefetch A[I + 4]
+        A[I] = 2.0
+"""
+        kernel = parse_kernel(source)
+        assert isinstance(kernel.body[0].body[0], Prefetch)
+
+    def test_scalar_temporaries(self):
+        source = """
+kernel sc(N):
+    array A[N]
+    do I = 1, N:
+        t = A[I] * 2.0
+        A[I] = t + 1.0
+"""
+        kernel = parse_kernel(source)
+        stmts = kernel.body[0].body
+        assert stmts[0].target == "t"
+
+    def test_float_literals_and_division(self):
+        source = """
+kernel fl(N):
+    array A[N]
+    do I = 1, N:
+        A[I] = (A[I] + 0.5) / 2.0
+"""
+        parse_kernel(source)
+
+    def test_parsed_kernel_runs_through_eco(self):
+        """The DSL output is a first-class kernel: variants derive from it."""
+        from repro.core import derive_variants
+        from repro.machines import get_machine
+
+        kernel = parse_kernel(MM_SOURCE)
+        variants = derive_variants(kernel, get_machine("sgi"))
+        assert variants and variants[0].register_loop == "K"
+
+
+class TestParseErrors:
+    def test_empty_source(self):
+        with pytest.raises(ParseError, match="empty"):
+            parse_kernel("   \n  \n")
+
+    def test_missing_kernel_keyword(self):
+        with pytest.raises(ParseError, match="kernel"):
+            parse_kernel("do I = 1, N:\n    A[I] = 0\n")
+
+    def test_no_arrays(self):
+        with pytest.raises(ParseError, match="no arrays"):
+            parse_kernel("kernel k(N):\n    do I = 1, N:\n        t = 1.0\n")
+
+    def test_empty_loop_body(self):
+        source = """
+kernel k(N):
+    array A[N]
+    do I = 1, N:
+    A[1] = 0.0
+"""
+        with pytest.raises(ParseError):
+            parse_kernel(source)
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError, match="unexpected character"):
+            parse_kernel("kernel k(N):\n    array A[N]\n    do I = 1, N:\n        A[I] = @\n")
+
+    def test_symbolic_step_rejected(self):
+        source = """
+kernel k(N):
+    array A[N]
+    do I = 1, N, M:
+        A[I] = 0.0
+"""
+        with pytest.raises(ParseError, match="integer literal"):
+            parse_kernel(source)
+
+    def test_validation_errors_propagate(self):
+        source = """
+kernel k(N):
+    array A[N]
+    do I = 1, N:
+        A[I, J] = 0.0
+"""
+        from repro.ir.validate import ValidationError
+
+        with pytest.raises(ValidationError):
+            parse_kernel(source)
+
+    def test_trailing_tokens(self):
+        source = """
+kernel k(N):
+    array A[N]
+    do I = 1, N:
+        A[I] = 0.0 extra
+"""
+        with pytest.raises(ParseError, match="trailing"):
+            parse_kernel(source)
+
+    def test_line_numbers_reported(self):
+        source = "kernel k(N):\n    array A[N]\n    do I = 1, N:\n        A[I] = @\n"
+        with pytest.raises(ParseError, match="line 4"):
+            parse_kernel(source)

@@ -1,0 +1,202 @@
+"""Unit tests for symbolic integer expressions."""
+
+import numpy as np
+import pytest
+
+from repro.ir.expr import (
+    Add,
+    Const,
+    FloorDiv,
+    Min,
+    Mod,
+    Mul,
+    Var,
+    affine_view,
+    add,
+    as_expr,
+    emax,
+    emin,
+    floordiv,
+    mod,
+    mul,
+    sub,
+)
+
+I = Var("I")
+J = Var("J")
+N = Var("N")
+
+
+class TestConstruction:
+    def test_const_folding_add(self):
+        assert add(1, 2, 3) == Const(6)
+
+    def test_const_folding_mul(self):
+        assert mul(2, 3) == Const(6)
+
+    def test_mul_by_zero_annihilates(self):
+        assert mul(0, I, N) == Const(0)
+
+    def test_add_flattens_nested_sums(self):
+        expr = add(add(I, 1), add(J, 2))
+        assert isinstance(expr, Add)
+        assert Const(3) in expr.terms
+
+    def test_mul_flattens_nested_products(self):
+        expr = mul(mul(2, I), mul(3, J))
+        assert isinstance(expr, Mul)
+        assert expr.factors[0] == Const(6)
+
+    def test_add_identity(self):
+        assert add(I, 0) == I
+
+    def test_mul_identity(self):
+        assert mul(I, 1) == I
+
+    def test_operator_sugar_matches_constructors(self):
+        assert (I + 1) == add(I, 1)
+        assert (I - J) == sub(I, J)
+        assert (2 * I) == mul(2, I)
+        assert (I // 2) == floordiv(I, 2)
+        assert (I % 4) == mod(I, 4)
+        assert (-I) == mul(-1, I)
+
+    def test_floordiv_by_one(self):
+        assert floordiv(I, 1) == I
+
+    def test_floordiv_constants(self):
+        assert floordiv(7, 2) == Const(3)
+
+    def test_floordiv_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            floordiv(I, 0)
+
+    def test_mod_constants(self):
+        assert mod(7, 4) == Const(3)
+
+    def test_mod_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            mod(I, 0)
+
+    def test_min_dedup_and_fold(self):
+        assert emin(I, I) == I
+        assert emin(3, 5) == Const(3)
+        assert emax(3, 5) == Const(5)
+
+    def test_min_flattens(self):
+        expr = emin(emin(I, J), N)
+        assert isinstance(expr, Min)
+        assert len(expr.args) == 3
+
+    def test_as_expr_rejects_bool_and_float(self):
+        with pytest.raises(TypeError):
+            as_expr(True)
+        with pytest.raises(TypeError):
+            as_expr(1.5)
+
+    def test_structural_equality_and_hash(self):
+        a = I + 2 * J
+        b = add(I, mul(2, J))
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestEvaluate:
+    def test_scalar_evaluation(self):
+        expr = 3 * I + J - 1
+        assert expr.evaluate({"I": 4, "J": 10}) == 21
+
+    def test_min_max_scalar(self):
+        expr = emin(I + 1, N)
+        assert expr.evaluate({"I": 5, "N": 4}) == 4
+        assert emax(I, 0).evaluate({"I": -3}) == 0
+
+    def test_floordiv_mod_scalar(self):
+        assert (I // 3).evaluate({"I": 10}) == 3
+        assert (I % 3).evaluate({"I": 10}) == 1
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(KeyError, match="unbound variable"):
+            I.evaluate({})
+
+    def test_vector_evaluation(self):
+        vec = np.arange(5)
+        expr = 2 * I + 1
+        np.testing.assert_array_equal(expr.evaluate({"I": vec}), 2 * vec + 1)
+
+    def test_vector_min(self):
+        vec = np.array([1, 5, 9])
+        expr = emin(I, 5)
+        np.testing.assert_array_equal(expr.evaluate({"I": vec}), [1, 5, 5])
+
+    def test_mixed_scalar_vector(self):
+        vec = np.arange(4)
+        expr = I + N
+        np.testing.assert_array_equal(expr.evaluate({"I": vec, "N": 10}), vec + 10)
+
+
+class TestSubstitute:
+    def test_substitute_variable(self):
+        expr = I + 2 * J
+        assert expr.substitute({"J": Const(3)}) == I + 6
+
+    def test_substitute_with_expr(self):
+        expr = I + 1
+        assert expr.substitute({"I": J * 2}) == 2 * J + 1
+
+    def test_substitute_accepts_ints(self):
+        assert (I + J).substitute({"I": 4, "J": 5}) == Const(9)
+
+    def test_substitute_min(self):
+        expr = emin(I, N)
+        assert expr.substitute({"N": 10, "I": 3}) == Const(3)
+
+
+class TestFreeVars:
+    def test_free_vars(self):
+        expr = emin(I + J, N) % 4
+        assert expr.free_vars() == {"I", "J", "N"}
+
+    def test_const_has_no_free_vars(self):
+        assert Const(5).free_vars() == frozenset()
+
+
+class TestAffineView:
+    def test_simple_affine(self):
+        view = affine_view(2 * I + 3 * J + 5, ["I", "J"])
+        assert view.as_dict() == {"I": 2, "J": 3}
+        assert view.rest == Const(5)
+
+    def test_affine_with_symbolic_rest(self):
+        view = affine_view(I + N - 1, ["I"])
+        assert view.as_dict() == {"I": 1}
+        assert view.rest == N - 1
+
+    def test_coefficient_of_absent_var_is_zero(self):
+        view = affine_view(I + 1, ["I", "J"])
+        assert view.coefficient("J") == 0
+
+    def test_cancelling_coefficients_dropped(self):
+        view = affine_view(I - I + J, ["I", "J"])
+        assert view.as_dict() == {"J": 1}
+
+    def test_product_of_loop_vars_is_not_affine(self):
+        assert affine_view(mul(I, J), ["I", "J"]) is None
+
+    def test_floordiv_of_loop_var_is_not_affine(self):
+        assert affine_view(I // 2, ["I"]) is None
+
+    def test_param_product_stays_in_rest(self):
+        view = affine_view(I + mul(N, N), ["I"])
+        assert view.as_dict() == {"I": 1}
+        assert view.rest == mul(N, N)
+
+    def test_scaled_nonaffine_rejected(self):
+        assert affine_view(mul(2, I, J), ["I"]) is None
+
+    def test_min_over_tracked_var_rejected(self):
+        assert affine_view(emin(I, N), ["I"]) is None
+
+    def test_min_over_untracked_vars_ok(self):
+        view = affine_view(I + emin(N, Const(100)), ["I"])
+        assert view.as_dict() == {"I": 1}

@@ -1,0 +1,58 @@
+"""Pseudocode printer tests."""
+
+from repro.ir import builder as B
+from repro.ir.expr import Var
+from repro.ir.printer import format_kernel, format_nodes
+from repro.kernels import matmul
+from repro.transforms import CopyDim, TileSpec, apply_copy, insert_prefetch, tile_nest
+
+N = Var("N")
+
+
+class TestPrinter:
+    def test_matmul_matches_figure_1a(self):
+        text = format_kernel(matmul())
+        assert text.splitlines()[0] == "DO K = 1,N"
+        assert "C[I,J] = (C[I,J] + (A[I,K] * B[K,J]))" in text
+
+    def test_indentation_two_spaces_per_level(self):
+        lines = format_kernel(matmul()).splitlines()
+        assert lines[1].startswith("  DO J")
+        assert lines[2].startswith("    DO I")
+        assert lines[3].startswith("      C[I,J]")
+
+    def test_step_printed_when_not_one(self):
+        k = B.kernel(
+            "s",
+            params=("N",),
+            arrays=(B.array("A", N),),
+            body=B.loop("I", 1, N, B.assign(B.aref("A", Var("I")), B.num(0)), step=4),
+        )
+        assert "DO I = 1,N,4" in format_kernel(k)
+
+    def test_roles_annotated(self):
+        tiled = tile_nest(matmul(), [TileSpec("K", "KK", 4)])
+        text = format_kernel(tiled)
+        assert "! control" in text
+
+    def test_copy_temp_declared_with_new(self):
+        tiled = tile_nest(
+            matmul(),
+            [TileSpec("K", "KK", 4), TileSpec("J", "JJ", 4)],
+            control_order=["KK", "JJ"],
+            point_order=["I", "J", "K"],
+        )
+        copied = apply_copy(
+            tiled, "B", "P", [CopyDim(0, "K", "KK", 4), CopyDim(1, "J", "JJ", 4)]
+        )
+        text = format_kernel(copied)
+        assert text.splitlines()[0] == "new P[4,4]"
+        assert "! copy" in text
+
+    def test_prefetch_printed(self):
+        text = format_kernel(insert_prefetch(matmul(), "A", 2, "I"))
+        assert "PREFETCH A[(I + 2),K]" in text
+
+    def test_format_nodes_depth(self):
+        lines = format_nodes(matmul().body, depth=2)
+        assert lines[0].startswith("    DO K")

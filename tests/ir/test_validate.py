@@ -1,0 +1,96 @@
+"""Unit tests for kernel structural validation."""
+
+import pytest
+
+from repro.ir import builder as B
+from repro.ir.expr import Var
+from repro.ir.nest import Kernel
+from repro.ir.validate import ValidationError, validate_kernel
+
+N = Var("N")
+I, J = Var("I"), Var("J")
+
+
+def _kernel(body, arrays=None, consts=()):
+    return Kernel(
+        name="t",
+        params=("N",),
+        arrays=tuple(arrays if arrays is not None else (B.array("A", N, N),)),
+        body=body if isinstance(body, tuple) else (body,),
+        consts=tuple(consts),
+    )
+
+
+class TestValidation:
+    def test_valid_kernel_passes(self):
+        k = _kernel(B.loop("I", 1, N, B.assign(B.aref("A", I, I), B.num(0))))
+        validate_kernel(k)
+
+    def test_undeclared_array(self):
+        k = _kernel(B.loop("I", 1, N, B.assign(B.aref("Z", I, I), B.num(0))))
+        with pytest.raises(ValidationError, match="undeclared array"):
+            validate_kernel(k)
+
+    def test_rank_mismatch(self):
+        k = _kernel(B.loop("I", 1, N, B.assign(B.aref("A", I), B.num(0))))
+        with pytest.raises(ValidationError, match="subscripts"):
+            validate_kernel(k)
+
+    def test_unbound_subscript_variable(self):
+        k = _kernel(B.loop("I", 1, N, B.assign(B.aref("A", I, J), B.num(0))))
+        with pytest.raises(ValidationError, match="unbound"):
+            validate_kernel(k)
+
+    def test_unbound_loop_bound(self):
+        k = _kernel(B.loop("I", 1, Var("M"), B.assign(B.aref("A", I, I), B.num(0))))
+        with pytest.raises(ValidationError, match="unbound"):
+            validate_kernel(k)
+
+    def test_shadowed_loop_variable(self):
+        inner = B.loop("I", 1, N, B.assign(B.aref("A", I, I), B.num(0)))
+        k = _kernel(B.loop("I", 1, N, inner))
+        with pytest.raises(ValidationError, match="shadows"):
+            validate_kernel(k)
+
+    def test_scalar_read_before_write(self):
+        k = _kernel(B.loop("I", 1, N, B.assign(B.aref("A", I, I), B.scalar("t0"))))
+        with pytest.raises(ValidationError, match="before assignment"):
+            validate_kernel(k)
+
+    def test_scalar_write_then_read_ok(self):
+        body = B.loop(
+            "I", 1, N,
+            B.assign("t0", B.num(1.0)),
+            B.assign(B.aref("A", I, I), B.scalar("t0")),
+        )
+        validate_kernel(_kernel(body))
+
+    def test_declared_const_readable(self):
+        k = _kernel(
+            B.loop("I", 1, N, B.assign(B.aref("A", I, I), B.scalar("c"))),
+            consts=("c",),
+        )
+        validate_kernel(k)
+
+    def test_duplicate_array_declaration(self):
+        k = _kernel(
+            B.loop("I", 1, N, B.assign(B.aref("A", I, I), B.num(0))),
+            arrays=(B.array("A", N, N), B.array("A", N)),
+        )
+        with pytest.raises(ValidationError, match="duplicate"):
+            validate_kernel(k)
+
+    def test_prefetch_checked_too(self):
+        k = _kernel(B.loop("I", 1, N, B.prefetch(B.aref("A", I, J)),
+                           B.assign(B.aref("A", I, I), B.num(0))))
+        with pytest.raises(ValidationError, match="unbound"):
+            validate_kernel(k)
+
+    def test_builder_kernel_validates_eagerly(self):
+        with pytest.raises(ValidationError):
+            B.kernel(
+                "bad",
+                params=("N",),
+                arrays=(B.array("A", N),),
+                body=B.loop("I", 1, N, B.assign(B.aref("A", J), B.num(0))),
+            )

@@ -1,0 +1,43 @@
+"""Pure-numpy reference implementations of the kernels.
+
+These are independent of the IR/interpreter machinery and are used to
+check that the interpreter (itself the oracle for transformations)
+computes the right thing for the original kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def matmul_ref(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
+    """C += A @ B (the kernel accumulates into C)."""
+    return c + a @ b
+
+
+def jacobi_ref(b: np.ndarray, coeff: float) -> np.ndarray:
+    """Interior points of A from Figure 2(a); boundary left at zero."""
+    out = np.zeros_like(b)
+    out[1:-1, 1:-1, 1:-1] = coeff * (
+        b[:-2, 1:-1, 1:-1]
+        + b[2:, 1:-1, 1:-1]
+        + b[1:-1, :-2, 1:-1]
+        + b[1:-1, 2:, 1:-1]
+        + b[1:-1, 1:-1, :-2]
+        + b[1:-1, 1:-1, 2:]
+    )
+    return out
+
+
+def matvec_ref(a: np.ndarray, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """y += A @ x."""
+    return y + a @ x
+
+
+def stencil2d_ref(b: np.ndarray, coeff: float) -> np.ndarray:
+    """Interior points of the 5-point stencil; boundary left at zero."""
+    out = np.zeros_like(b)
+    out[1:-1, 1:-1] = coeff * (
+        b[:-2, 1:-1] + b[2:, 1:-1] + b[1:-1, :-2] + b[1:-1, 2:] + b[1:-1, 1:-1]
+    )
+    return out

@@ -1,0 +1,78 @@
+"""Unit tests for the CPU issue model and the Counters container."""
+
+import pytest
+
+from repro.machines import get_machine
+from repro.sim.counters import Counters
+from repro.sim.cpu import iteration_issue_cycles, spill_penalty
+
+SGI = get_machine("sgi")
+
+
+class TestCpuModel:
+    def test_fp_bound_iteration(self):
+        # 32 flops at 2/cycle = 16 > 8 mem ops at 1/cycle.
+        cycles = iteration_issue_cycles(SGI, flops=32, memory_ops=8)
+        assert cycles == pytest.approx(16 + SGI.loop_overhead)
+
+    def test_memory_bound_iteration(self):
+        cycles = iteration_issue_cycles(SGI, flops=2, memory_ops=6)
+        assert cycles == pytest.approx(6 + SGI.loop_overhead)
+
+    def test_scalar_moves_add_half_cycle(self):
+        base = iteration_issue_cycles(SGI, 8, 4)
+        with_moves = iteration_issue_cycles(SGI, 8, 4, scalar_moves=4)
+        assert with_moves == pytest.approx(base + 2.0)
+
+    def test_no_spill_under_budget(self):
+        assert spill_penalty(SGI, SGI.usable_registers) == 0.0
+
+    def test_spill_grows_linearly(self):
+        over = SGI.usable_registers + 3
+        assert spill_penalty(SGI, over) == pytest.approx(3 * SGI.spill_cost)
+
+    def test_live_scalars_penalize_issue(self):
+        light = iteration_issue_cycles(SGI, 8, 4, live_scalars=10)
+        heavy = iteration_issue_cycles(SGI, 8, 4, live_scalars=60)
+        assert heavy > light
+
+
+class TestCounters:
+    def _counters(self, **kwargs):
+        base = dict(
+            kernel="k", machine="m", params={"N": 8}, clock_mhz=100.0,
+            loads=100, stores=10, prefetches=5, flops=400, useful_flops=400,
+            cache_hits=(90, 5), cache_misses=(10, 5), tlb_misses=2,
+            cycles=1000.0,
+        )
+        base.update(kwargs)
+        return Counters(**base)
+
+    def test_level_accessors(self):
+        c = self._counters()
+        assert c.l1_misses == 10 and c.l2_misses == 5
+        assert c.memory_accesses == 110
+
+    def test_papi_loads_include_prefetches(self):
+        assert self._counters().loads_papi == 105
+
+    def test_mflops(self):
+        c = self._counters()
+        # 400 flops in 1000 cycles at 100 MHz = 40 MFLOPS.
+        assert c.mflops == pytest.approx(40.0)
+
+    def test_mflops_zero_cycles(self):
+        assert self._counters(cycles=0.0).mflops == 0.0
+
+    def test_seconds(self):
+        assert self._counters().seconds == pytest.approx(1e-5)
+
+    def test_row_has_table1_columns(self):
+        row = self._counters().row()
+        for column in ("loads", "l1_misses", "l2_misses", "tlb_misses", "cycles", "mflops"):
+            assert column in row
+        assert row["N"] == 8
+
+    def test_empty_cache_tuples(self):
+        c = self._counters(cache_hits=(), cache_misses=())
+        assert c.l1_misses == 0 and c.l2_misses == 0

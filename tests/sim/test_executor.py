@@ -1,0 +1,178 @@
+"""Executor tests: instruction counts, miss behaviour, transformations'
+counter effects (the qualitative content of the paper's Table 1)."""
+
+import numpy as np
+import pytest
+
+from repro.codegen.layout import MemoryLayout
+from repro.ir import builder as B
+from repro.ir.expr import Var
+from repro.kernels import jacobi, matmul
+from repro.machines import get_machine
+from repro.sim import ExecutionError, execute
+from repro.transforms import (
+    CopyDim,
+    TileSpec,
+    apply_copy,
+    insert_prefetch,
+    permute,
+    scalar_replace,
+    tile_nest,
+    unroll_and_jam,
+)
+
+N = Var("N")
+SGI = get_machine("sgi")
+
+
+class TestInstructionCounts:
+    def test_matmul_loads_and_stores(self):
+        mm = matmul()
+        c = execute(mm, {"N": 8}, SGI)
+        assert c.loads == 3 * 8**3  # C, A, B reads per iteration
+        assert c.stores == 8**3
+        assert c.flops == 2 * 8**3
+        assert c.useful_flops == 2 * 8**3
+
+    def test_jacobi_counts(self):
+        jac = jacobi()
+        c = execute(jac, {"N": 8}, SGI)
+        inner = 6**3
+        assert c.loads == 6 * inner
+        assert c.stores == inner
+        assert c.flops == 6 * inner
+
+    def test_loop_iterations_counted(self):
+        mm = matmul()
+        c = execute(mm, {"N": 4}, SGI)
+        assert c.loop_iterations == 4 + 16 + 64
+
+    def test_scalar_replacement_reduces_loads(self):
+        mm = permute(matmul(), ("I", "J", "K"))
+        base = execute(mm, {"N": 8}, SGI)
+        opt = execute(scalar_replace(mm, "K"), {"N": 8}, SGI)
+        # C load and store move out of the K loop: loads drop by ~N^3-N^2.
+        assert opt.loads == 2 * 8**3 + 8**2
+        assert opt.stores == 8**2
+        assert base.flops == opt.flops
+
+    def test_prefetch_counted_separately_and_in_papi_loads(self):
+        mm = permute(matmul(), ("I", "J", "K"))
+        pf = insert_prefetch(mm, "A", distance=2, var="K")
+        c = execute(pf, {"N": 8}, SGI)
+        base = execute(mm, {"N": 8}, SGI)
+        assert c.prefetches > 0
+        assert c.loads == base.loads
+        assert c.loads_papi == c.loads + c.prefetches
+
+    def test_out_of_bounds_prefetches_dropped(self):
+        mm = permute(matmul(), ("I", "J", "K"))
+        pf = insert_prefetch(mm, "A", distance=3, var="K")
+        c = execute(pf, {"N": 8}, SGI)
+        # K+3 runs past N for K in {6,7,8}: 3 of every 8 prefetches dropped.
+        assert c.dropped_prefetches == 3 * 8 * 8
+
+    def test_out_of_bounds_demand_raises(self):
+        k = B.kernel(
+            "oob",
+            params=("N",),
+            arrays=(B.array("A", N),),
+            body=B.loop("I", 1, N, B.assign(B.aref("A", Var("I") + 1), B.num(0))),
+        )
+        with pytest.raises(ExecutionError, match="out of bounds"):
+            execute(k, {"N": 8}, SGI)
+
+
+class TestMemoryBehaviour:
+    def test_small_problem_fits_l1(self):
+        mm = matmul()
+        # 3 arrays of 8x8 doubles = 1.5KB < 2KB L1.
+        c = execute(mm, {"N": 8}, SGI)
+        lines = 3 * 8 * 8 * 8 // 32
+        assert c.l1_misses <= lines * 2  # compulsory only (some conflicts)
+
+    def test_large_problem_misses_grow(self):
+        mm = matmul()
+        small = execute(mm, {"N": 8}, SGI)
+        large = execute(mm, {"N": 32}, SGI)
+        # Miss *ratio* must grow, not just absolute count.
+        assert large.l1_misses / large.loads > 2 * small.l1_misses / small.loads
+
+    def test_tiling_reduces_l2_misses(self):
+        mm = matmul()
+        n = 48  # arrays: 3 * 18KB; L2-mini 64KB but B walked N times
+        tiled = tile_nest(
+            mm,
+            [TileSpec("K", "KK", 8), TileSpec("J", "JJ", 16)],
+            control_order=["KK", "JJ"],
+            point_order=["I", "J", "K"],
+        )
+        base = execute(mm, {"N": n}, SGI)
+        opt = execute(tiled, {"N": n}, SGI)
+        assert opt.l1_misses < base.l1_misses
+
+    def test_copy_eliminates_conflict_misses_at_power_of_two(self):
+        """At N=64 with the 2KB 2-way L1, B's tile columns are 512B apart:
+        a 16x16 tile self-conflicts badly; the copied tile does not."""
+        n = 64
+        tiled = tile_nest(
+            matmul(),
+            [TileSpec("K", "KK", 16), TileSpec("J", "JJ", 16)],
+            control_order=["KK", "JJ"],
+            point_order=["I", "J", "K"],
+        )
+        copied = apply_copy(
+            tiled, "B", "P", [CopyDim(0, "K", "KK", 16), CopyDim(1, "J", "JJ", 16)]
+        )
+        plain = execute(tiled, {"N": n}, SGI)
+        with_copy = execute(copied, {"N": n}, SGI)
+        assert with_copy.l1_misses < plain.l1_misses
+
+    def test_prefetch_cuts_cycles_not_misses(self):
+        """The paper's mm4 vs mm5: prefetching leaves miss counts roughly
+        unchanged but reduces cycles."""
+        mm = permute(matmul(), ("I", "J", "K"))
+        mm = unroll_and_jam(unroll_and_jam(mm, "I", 4), "J", 4)
+        mm = scalar_replace(mm, "K")
+        base = execute(mm, {"N": 32}, SGI)
+        pf = insert_prefetch(mm, "A", distance=2, var="K")
+        pf = insert_prefetch(pf, "B", distance=2, var="K")
+        opt = execute(pf, {"N": 32}, SGI)
+        assert opt.cycles < base.cycles
+        assert opt.l1_misses == pytest.approx(base.l1_misses, rel=0.15)
+
+    def test_tlb_thrash_at_large_size(self):
+        # With K innermost, A[I,K] strides across a new column (512B) every
+        # iteration: the 32KB-reach TLB thrashes (the paper's
+        # Native-at-large-N pathology).
+        mm = permute(matmul(), ("I", "J", "K"))
+        c = execute(mm, {"N": 64}, SGI)
+        assert c.tlb_misses > 10_000
+
+    def test_mflops_sanity(self):
+        mm = matmul()
+        c = execute(mm, {"N": 16}, SGI)
+        assert 0 < c.mflops < SGI.peak_mflops
+
+
+class TestDeterminism:
+    def test_execution_is_deterministic(self):
+        mm = matmul()
+        a = execute(mm, {"N": 12}, SGI)
+        b = execute(mm, {"N": 12}, SGI)
+        assert a.cycles == b.cycles
+        assert a.cache_misses == b.cache_misses
+
+    def test_layout_bases_staggered(self):
+        mm = matmul()
+        layout = MemoryLayout.build(mm, {"N": 16}, page_size=4096)
+        bases = [layout[a].base for a in ("A", "B", "C")]
+        assert len(set(bases)) == 3
+        # Power-of-two-sized arrays must not end up congruent mod the cache
+        # size (the page-coloring stagger).
+        residues = {b % 2048 for b in bases}
+        assert len(residues) == 3
+        # No overlap.
+        spans = sorted((layout[a].base, layout[a].end) for a in ("A", "B", "C"))
+        for (b1, e1), (b2, e2) in zip(spans, spans[1:]):
+            assert e1 <= b2

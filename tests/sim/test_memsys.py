@@ -1,0 +1,206 @@
+"""Memory system tests: timing, prefetch, bandwidth, collapse exactness."""
+
+import numpy as np
+import pytest
+
+from repro.machines import CacheSpec, MachineSpec, TlbSpec
+from repro.sim.memsys import KIND_LOAD, KIND_PREFETCH, KIND_STORE, MemorySystem
+
+
+def _machine(l2_latency=10, mem_latency=60, transfer=24, tlb_penalty=50):
+    return MachineSpec(
+        name="toy",
+        clock_mhz=100.0,
+        fp_registers=32,
+        caches=(
+            CacheSpec("L1", capacity=256, line_size=32, associativity=2, latency=2),
+            CacheSpec("L2", capacity=1024, line_size=32, associativity=2, latency=l2_latency),
+        ),
+        tlb=TlbSpec(entries=4, page_size=4096, associativity=4, miss_penalty=tlb_penalty),
+        memory_latency=mem_latency,
+        memory_cycles_per_line=transfer,
+    )
+
+
+def _loads(addresses):
+    a = np.array(addresses, dtype=np.int64)
+    return a, np.zeros(len(a), dtype=np.int8)
+
+
+class TestBasicTiming:
+    def test_cold_miss_pays_full_latency(self):
+        ms = MemorySystem(_machine())
+        ms.access(4096, KIND_LOAD, 1.0)
+        # issue 1 + tlb miss 50 + L2 latency 10 + memory 60 + L1 fill 2
+        assert ms.now == pytest.approx(1 + 50 + 10 + 60 + 2)
+
+    def test_hit_costs_only_issue(self):
+        ms = MemorySystem(_machine())
+        ms.access(4096, KIND_LOAD, 1.0)
+        t = ms.now
+        ms.access(4096 + 24, KIND_LOAD, 1.0)  # same line: pure hit
+        assert ms.now == pytest.approx(t + 1.0)
+        t = ms.now
+        ms.access(4096 + 40, KIND_LOAD, 1.0)  # new line: full miss
+        assert ms.now == pytest.approx(t + 1 + 10 + 60 + 2)
+
+    def test_l2_hit_cheaper_than_memory(self):
+        machine = _machine()
+        ms = MemorySystem(machine)
+        # Fill line into L2 and L1; evict from L1 by conflicting lines.
+        ms.access(4096, KIND_LOAD, 1.0)
+        ms.access(4096 + 256, KIND_LOAD, 1.0)
+        ms.access(4096 + 512, KIND_LOAD, 1.0)  # L1 set full beyond 2 ways
+        t = ms.now
+        ms.access(4096, KIND_LOAD, 1.0)  # L1 miss, L2 hit
+        assert ms.now - t == pytest.approx(1 + machine.caches[1].latency + 2)
+
+    def test_store_behaves_like_load(self):
+        ms = MemorySystem(_machine())
+        ms.access(4096, KIND_STORE, 1.0)
+        assert ms.caches[0].misses == 1
+
+
+class TestTlb:
+    def test_tlb_miss_penalty_once_per_page(self):
+        machine = _machine()
+        ms = MemorySystem(machine)
+        ms.access(0, KIND_LOAD, 1.0)
+        assert ms.tlb_misses == 1
+        ms.access(64, KIND_LOAD, 1.0)  # same page
+        assert ms.tlb_misses == 1
+
+    def test_tlb_capacity_thrash(self):
+        machine = _machine()
+        ms = MemorySystem(machine)
+        pages = [i * 4096 for i in range(5)]  # 5 pages, 4 entries
+        for _ in range(3):
+            for p in pages:
+                ms.access(p, KIND_LOAD, 1.0)
+        assert ms.tlb_misses == 15  # LRU thrash: every access misses
+
+    def test_prefetch_does_not_stall_on_tlb_miss(self):
+        machine = _machine()
+        ms = MemorySystem(machine)
+        ms.access(0, KIND_PREFETCH, 1.0)
+        # issue 1 + L2 10 + mem 60 happen in background; prefetch returns
+        # after issue only.
+        assert ms.now == pytest.approx(1.0)
+        assert ms.tlb_misses == 1
+
+
+class TestPrefetch:
+    def test_prefetch_hides_latency_fully(self):
+        machine = _machine()
+        ms = MemorySystem(machine)
+        ms.access(0, KIND_LOAD, 1.0)  # warm TLB for page 0
+        t = ms.now
+        ms.access(4096 * 0 + 512, KIND_PREFETCH, 1.0)
+        ms.advance(200)  # plenty of time for the fill
+        t = ms.now
+        ms.access(512, KIND_LOAD, 1.0)
+        assert ms.now == pytest.approx(t + 1.0)  # no stall
+        # Miss was charged to the prefetch, not the demand access.
+        assert ms.caches[0].misses == 2
+
+    def test_prefetch_too_late_partial_stall(self):
+        machine = _machine()
+        ms = MemorySystem(machine)
+        ms.access(0, KIND_LOAD, 1.0)
+        ms.access(512, KIND_PREFETCH, 1.0)
+        start = ms.now
+        ms.access(512, KIND_LOAD, 1.0)  # immediately after: fill in flight
+        stall = ms.now - start - 1.0
+        assert 0 < stall <= machine.memory_latency + machine.caches[1].latency + 2
+
+    def test_prefetch_of_resident_line_is_noop(self):
+        ms = MemorySystem(_machine())
+        ms.access(0, KIND_LOAD, 1.0)
+        t = ms.now
+        ms.access(0, KIND_PREFETCH, 1.0)
+        assert ms.now == pytest.approx(t + 1.0)
+        assert ms.caches[0].misses == 1
+
+
+class TestBandwidth:
+    def test_memory_fills_serialize(self):
+        machine = _machine(mem_latency=60, transfer=24)
+        ms = MemorySystem(machine)
+        ms.access(0, KIND_LOAD, 1.0)  # warm TLB page 0
+        base = ms.now
+        # Issue 8 prefetches to distinct lines back to back: the bus can
+        # only start one transfer every 24 cycles.
+        for i in range(1, 9):
+            ms.access(i * 32, KIND_PREFETCH, 1.0)
+        assert ms.now == pytest.approx(base + 8.0)  # prefetches don't stall
+        # A demand load of the last line must wait for the queued fills.
+        ms.access(8 * 32, KIND_LOAD, 1.0)
+        # The 8th fill starts no earlier than 7 transfers after the first.
+        assert ms.now - base > 7 * machine.memory_cycles_per_line
+
+    def test_l2_hits_do_not_use_memory_bus(self):
+        machine = _machine()
+        ms = MemorySystem(machine)
+        # Lines 0, 8, 16 share L1 set 0 (4 sets, 2-way): line 0 is evicted
+        # from L1 but stays in L2 (16 sets).
+        ms.access(0, KIND_LOAD, 1.0)
+        ms.access(256, KIND_LOAD, 1.0)
+        ms.access(512, KIND_LOAD, 1.0)
+        bus_before = ms.bus_free
+        misses_before = ms.caches[1].misses
+        ms.access(0, KIND_LOAD, 1.0)  # L1 miss, L2 hit
+        assert ms.caches[1].misses == misses_before
+        assert ms.bus_free == bus_before  # no memory transfer scheduled
+
+
+class TestCollapse:
+    def test_consecutive_same_line_collapse_is_exact(self):
+        """Collapsed and uncollapsed streams yield identical miss counts."""
+        machine = _machine()
+        addrs = []
+        rng = np.random.default_rng(1)
+        pos = 0
+        for _ in range(500):
+            if rng.random() < 0.5 and addrs:
+                addrs.append(addrs[-1] + int(rng.integers(0, 8)))  # same line often
+            else:
+                pos += int(rng.integers(1, 5)) * 32
+                addrs.append(pos)
+        addrs_np, kinds = _loads(addrs)
+
+        vec = MemorySystem(machine)
+        vec.access_vector(addrs_np, kinds, 1.0)
+
+        one = MemorySystem(machine)
+        for a in addrs:
+            one._access_one(int(a), KIND_LOAD, 1.0)
+
+        assert vec.miss_counts() == one.miss_counts()
+        assert vec.tlb_misses == one.tlb_misses
+        assert vec.now == pytest.approx(one.now)
+
+    def test_collapse_counts_hits(self):
+        machine = _machine()
+        ms = MemorySystem(machine)
+        addrs, kinds = _loads([0, 0, 0, 0])
+        ms.access_vector(addrs, kinds, 1.0)
+        assert ms.caches[0].hits == 3
+        assert ms.caches[0].misses == 1
+
+    def test_prefetch_not_collapsed(self):
+        """A same-line demand right after a prefetch must see the in-flight
+        fill (partial stall), not a free hit."""
+        machine = _machine()
+        ms = MemorySystem(machine)
+        ms.access(0, KIND_LOAD, 1.0)  # warm TLB
+        base = ms.now
+        addrs = np.array([992, 992], dtype=np.int64)
+        kinds = np.array([KIND_PREFETCH, KIND_LOAD], dtype=np.int8)
+        ms.access_vector(addrs, kinds, 1.0)
+        stall = ms.now - base - 2.0
+        assert stall > 0
+
+    def test_empty_vector(self):
+        ms = MemorySystem(_machine())
+        ms.access_vector(np.array([], dtype=np.int64), np.array([], dtype=np.int8), 1.0)
+        assert ms.now == 0.0

@@ -1,0 +1,81 @@
+"""Trace-recording tests (and, through them, executor event-stream tests)."""
+
+import numpy as np
+import pytest
+
+from repro.codegen.layout import MemoryLayout
+from repro.kernels import matmul, matvec
+from repro.machines import get_machine
+from repro.sim import execute
+from repro.sim.memsys import KIND_LOAD, KIND_STORE
+from repro.sim.trace import Trace, record_trace
+from repro.transforms import insert_prefetch, permute, scalar_replace
+
+SGI = get_machine("sgi")
+
+
+class TestRecordTrace:
+    def test_event_counts_match_executor(self):
+        mm = matmul()
+        trace = record_trace(mm, {"N": 6}, SGI)
+        counters = execute(mm, {"N": 6}, SGI)
+        assert trace.loads == counters.loads
+        assert trace.stores == counters.stores
+        assert trace.prefetches == counters.prefetches
+
+    def test_matmul_event_order_first_iteration(self):
+        """First iteration events: C load, A load, B load, C store."""
+        mm = matmul()
+        trace = record_trace(mm, {"N": 4}, SGI)
+        layout = MemoryLayout.build(mm, {"N": 4}, SGI.tlb.page_size)
+        first4 = trace.addresses[:4]
+        assert first4[0] == layout["C"].base
+        assert first4[1] == layout["A"].base
+        assert first4[2] == layout["B"].base
+        assert first4[3] == layout["C"].base
+        assert list(trace.kinds[:4]) == [KIND_LOAD, KIND_LOAD, KIND_LOAD, KIND_STORE]
+
+    def test_footprint_matches_data_size(self):
+        mm = matmul()
+        n = 8
+        trace = record_trace(mm, {"N": n}, SGI)
+        # 3 arrays x 8x8 doubles; footprint within one line of each end.
+        data = 3 * n * n * 8
+        assert data <= trace.footprint_bytes(32) <= data + 3 * 32
+
+    def test_prefetch_events_recorded(self):
+        mm = insert_prefetch(permute(matmul(), ("I", "J", "K")), "A", 2, "K")
+        trace = record_trace(mm, {"N": 6}, SGI)
+        assert trace.prefetches > 0
+
+    def test_addresses_stay_in_allocated_space(self):
+        mm = matmul()
+        trace = record_trace(mm, {"N": 7}, SGI)
+        layout = MemoryLayout.build(mm, {"N": 7}, SGI.tlb.page_size)
+        lo = min(a.base for a in layout.arrays.values())
+        hi = max(a.end for a in layout.arrays.values())
+        assert trace.addresses.min() >= lo
+        assert trace.addresses.max() < hi
+
+    def test_scalar_replacement_shrinks_trace(self):
+        mm = permute(matmul(), ("I", "J", "K"))
+        plain = record_trace(mm, {"N": 8}, SGI)
+        opt = record_trace(scalar_replace(mm, "K"), {"N": 8}, SGI)
+        assert len(opt) < len(plain)
+
+    def test_empty_trace(self):
+        t = Trace(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int8))
+        assert len(t) == 0 and t.loads == 0
+
+    def test_trace_feeds_memory_system(self):
+        """A recorded trace replayed through the memory system yields the
+        same miss counts as direct execution."""
+        from repro.sim.memsys import MemorySystem
+
+        mv = matvec()
+        trace = record_trace(mv, {"N": 32}, SGI)
+        ms = MemorySystem(SGI)
+        ms.access_vector(trace.addresses, trace.kinds, 1.0)
+        direct = execute(mv, {"N": 32}, SGI)
+        assert ms.miss_counts() == direct.cache_misses
+        assert ms.tlb_misses == direct.tlb_misses

@@ -1,0 +1,55 @@
+"""Write-back modeling tests (optional fidelity extension)."""
+
+import pytest
+
+from repro.machines import get_machine
+from repro.sim.memsys import KIND_LOAD, KIND_PREFETCH, KIND_STORE, MemorySystem
+
+SGI = get_machine("sgi")
+
+
+def _stream(ms, n=3000):
+    """A bandwidth-bound loop: prefetch ahead, store the line, load nearby."""
+    for i in range(n):
+        ms.access(4096 + (i + 8) * 64, KIND_PREFETCH, 1.0)
+        ms.access(4096 + i * 64, KIND_STORE, 1.0)
+        ms.access(4096 + i * 64 + 8, KIND_LOAD, 1.0)
+
+
+class TestWritebacks:
+    def test_disabled_by_default(self):
+        ms = MemorySystem(SGI)
+        _stream(ms, 500)
+        assert ms.writebacks == 0
+
+    def test_dirty_evictions_counted(self):
+        ms = MemorySystem(SGI, model_writebacks=True)
+        _stream(ms, 3000)
+        # 3000 stored lines against a 1024-line L2: ~2000 dirty evictions.
+        assert 1500 < ms.writebacks < 3000
+
+    def test_writeback_traffic_slows_bandwidth_bound_stream(self):
+        with_wb = MemorySystem(SGI, model_writebacks=True)
+        _stream(with_wb)
+        without = MemorySystem(SGI)
+        _stream(without)
+        assert with_wb.now > 1.2 * without.now
+
+    def test_read_only_stream_unaffected(self):
+        """No stores -> no dirty lines -> identical timing."""
+        a = MemorySystem(SGI, model_writebacks=True)
+        b = MemorySystem(SGI)
+        for i in range(2000):
+            a.access(4096 + i * 64, KIND_LOAD, 1.0)
+            b.access(4096 + i * 64, KIND_LOAD, 1.0)
+        assert a.writebacks == 0
+        assert a.now == pytest.approx(b.now)
+
+    def test_rewritten_line_written_back_once(self):
+        """Repeated stores to a resident line are one dirty entry."""
+        ms = MemorySystem(SGI, model_writebacks=True)
+        for _ in range(10):
+            ms.access(4096, KIND_STORE, 1.0)
+            ms.access(8192, KIND_STORE, 1.0)  # avoid same-line collapse
+        assert len(ms._dirty) == 2
+        assert ms.writebacks == 0  # still resident

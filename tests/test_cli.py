@@ -1,0 +1,38 @@
+"""CLI tests (python -m repro ...)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_machines(self, capsys):
+        main(["machines"])
+        out = capsys.readouterr().out
+        assert "sgi-r10k" in out and "ultrasparc-iie-mini" in out
+
+    def test_run(self, capsys):
+        main(["run", "mm", "--size", "12"])
+        out = capsys.readouterr().out
+        assert "mflops" in out and "l1_misses" in out
+
+    def test_variants(self, capsys):
+        main(["variants", "mm", "--machine", "sgi-full"])
+        out = capsys.readouterr().out
+        assert "UI*UJ <= 32" in out
+        assert "copy" in out
+
+    def test_tune_and_emit(self, capsys, tmp_path):
+        path = tmp_path / "out.c"
+        main(["tune", "matvec", "--size", "32", "--emit", str(path)])
+        out = capsys.readouterr().out
+        assert "ECO tuned matvec" in out
+        assert path.exists() and "kernel_matvec" in path.read_text()
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "nope"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            main([])

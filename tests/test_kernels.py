@@ -1,0 +1,65 @@
+"""Kernel registry tests (including the 4-deep conv2d extension)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.dependence import compute_dependences, tiling_legal
+from repro.codegen.interp import allocate_arrays, run_kernel
+from repro.core import derive_variants
+from repro.ir.nest import loop_order
+from repro.kernels import KERNELS, conv2d, get_kernel
+from repro.machines import get_machine
+
+
+class TestRegistry:
+    def test_all_kernels_construct_and_validate(self):
+        for name in KERNELS:
+            kernel = get_kernel(name)
+            assert kernel.name == name or name == "mm"
+
+    def test_unknown_kernel(self):
+        with pytest.raises(KeyError, match="unknown kernel"):
+            get_kernel("fft")
+
+    def test_registry_returns_fresh_objects(self):
+        assert get_kernel("mm") is not get_kernel("mm")
+
+
+class TestConv2d:
+    def test_structure(self):
+        k = conv2d()
+        assert loop_order(k) == ("J", "I", "Q", "P")
+        assert k.params == ("N", "F")
+
+    def test_semantics_vs_scipy_style_reference(self):
+        k = conv2d()
+        params = {"N": 10, "F": 3}
+        arrays = allocate_arrays(k, params, seed=1)
+        arrays["out"] = np.zeros_like(arrays["out"])
+        result = run_kernel(k, params, arrays)
+        img, w = arrays["img"], arrays["w"]
+        expected = np.zeros((8, 8))
+        for i in range(8):
+            for j in range(8):
+                expected[i, j] = np.sum(img[i : i + 3, j : j + 3] * w)
+        np.testing.assert_allclose(result["out"], expected, rtol=1e-12)
+
+    def test_reduction_dependences_flagged(self):
+        deps = compute_dependences(conv2d())
+        out_deps = [d for d in deps if d.source.array == "out"]
+        assert out_deps and all(d.reduction for d in out_deps)
+
+    def test_filter_band_tiling_needs_reassociation(self):
+        deps = compute_dependences(conv2d())
+        assert not tiling_legal(deps, ("P", "Q"))
+        assert tiling_legal(deps, ("P", "Q"), allow_reassociation=True)
+
+    def test_variants_derive(self):
+        variants = derive_variants(conv2d(), get_machine("sgi"))
+        assert variants
+        # Register level ties between P and Q (both carry out's reuse).
+        assert {v.register_loop for v in variants} == {"P", "Q"}
+
+    def test_flop_basis(self):
+        k = conv2d()
+        assert k.flop_basis.evaluate({"N": 10, "F": 3}) == 2 * 64 * 9

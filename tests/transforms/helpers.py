@@ -1,0 +1,27 @@
+"""Equivalence checking helpers for transformation tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codegen.interp import allocate_arrays, run_kernel
+from repro.ir.validate import validate_kernel
+
+
+def assert_equivalent(original, transformed, params, consts=None, seed=0):
+    """Run both kernels on identical inputs; non-temp outputs must match
+    bitwise (all transforms here reorder only additions of identical
+    operands or move values through scalars, so exact equality holds for
+    the kernels under test)."""
+    validate_kernel(transformed)
+    arrays = allocate_arrays(original, params, seed=seed)
+    out_orig = run_kernel(original, params, arrays, consts)
+    out_new = run_kernel(transformed, params, arrays, consts)
+    for decl in original.arrays:
+        if decl.temp:
+            continue
+        np.testing.assert_array_equal(
+            out_orig[decl.name],
+            out_new[decl.name],
+            err_msg=f"array {decl.name} differs after transformation",
+        )

@@ -1,0 +1,121 @@
+"""Copy optimization tests."""
+
+import pytest
+
+from repro.ir import builder as B
+from repro.ir.expr import Var
+from repro.ir.nest import Assign, Loop, walk_loops, walk_statements
+from repro.kernels import matmul
+from repro.transforms import CopyDim, TileSpec, TransformError, apply_copy, tile_nest
+
+from tests.transforms.helpers import assert_equivalent
+
+N = Var("N")
+
+
+def _tiled_mm(tk=4, tj=3):
+    return tile_nest(
+        matmul(),
+        [TileSpec("K", "KK", tk), TileSpec("J", "JJ", tj)],
+        control_order=["KK", "JJ"],
+        point_order=["I", "J", "K"],
+    )
+
+
+def _copy_b(kernel, tk=4, tj=3, pad=0):
+    return apply_copy(
+        kernel,
+        "B",
+        "P",
+        [CopyDim(0, "K", "KK", tk), CopyDim(1, "J", "JJ", tj)],
+        pad=pad,
+    )
+
+
+class TestCopySemantics:
+    @pytest.mark.parametrize("n", [3, 4, 7, 8, 12])
+    def test_figure_1b_copy_equivalent(self, n):
+        mm = matmul()
+        out = _copy_b(_tiled_mm())
+        assert_equivalent(mm, out, {"N": n})
+
+    def test_copy_with_padding_equivalent(self):
+        mm = matmul()
+        out = _copy_b(_tiled_mm(), pad=1)
+        assert_equivalent(mm, out, {"N": 7})
+        assert out.array("P").shape[0].evaluate({}) == 5  # TK + pad
+
+    def test_two_copies_figure_1c(self):
+        """Figure 1(c): copy B to P at JJ level and A to Q at II level."""
+        mm = matmul()
+        tiled = tile_nest(
+            mm,
+            [TileSpec("K", "KK", 4), TileSpec("J", "JJ", 3), TileSpec("I", "II", 2)],
+            control_order=["KK", "JJ", "II"],
+            point_order=["J", "I", "K"],
+        )
+        out = apply_copy(
+            tiled, "B", "P", [CopyDim(0, "K", "KK", 4), CopyDim(1, "J", "JJ", 3)]
+        )
+        out = apply_copy(
+            out, "A", "Q", [CopyDim(0, "I", "II", 2), CopyDim(1, "K", "KK", 4)]
+        )
+        assert_equivalent(mm, out, {"N": 7})
+        assert_equivalent(mm, out, {"N": 8})
+
+
+class TestCopyStructure:
+    def test_copy_nest_inserted_in_innermost_control(self):
+        out = _copy_b(_tiled_mm())
+        jj = next(l for l in walk_loops(out.body) if l.var == "JJ")
+        first = jj.body[0]
+        assert isinstance(first, Loop) and first.role == "copy"
+
+    def test_copy_loop_runs_contiguous_dim_innermost(self):
+        out = _copy_b(_tiled_mm())
+        copy_loops = [l for l in walk_loops(out.body) if l.role == "copy"]
+        # Outer copy loop iterates dim 1 (J), inner iterates dim 0 (K).
+        assert [l.var for l in copy_loops] == ["cJ", "cK"]
+
+    def test_temp_declared_with_tile_shape(self):
+        out = _copy_b(_tiled_mm())
+        p = out.array("P")
+        assert p.temp
+        assert [d.evaluate({}) for d in p.shape] == [4, 3]
+
+    def test_compute_refs_redirected(self):
+        out = _copy_b(_tiled_mm())
+        k_loop = next(l for l in walk_loops(out.body) if l.var == "K")
+        arrays = {
+            r.array for s in k_loop.body if isinstance(s, Assign)
+            for r in s.value.reads()
+        }
+        assert "B" not in arrays and "P" in arrays
+
+
+class TestCopyErrors:
+    def test_written_array_rejected(self):
+        tiled = _tiled_mm()
+        with pytest.raises(TransformError, match="written"):
+            apply_copy(tiled, "C", "P", [CopyDim(0, "I", "KK", 4), CopyDim(1, "J", "JJ", 3)])
+
+    def test_partial_dimension_coverage_rejected(self):
+        tiled = _tiled_mm()
+        with pytest.raises(TransformError, match="covered"):
+            apply_copy(tiled, "B", "P", [CopyDim(0, "K", "KK", 4)])
+
+    def test_missing_control_loop(self):
+        tiled = _tiled_mm()
+        with pytest.raises(TransformError, match="not found"):
+            apply_copy(
+                tiled, "B", "P",
+                [CopyDim(0, "K", "ZZ", 4), CopyDim(1, "J", "JJ", 3)],
+            )
+
+    def test_duplicate_temp_rejected(self):
+        once = _copy_b(_tiled_mm())
+        with pytest.raises(TransformError, match="already declared"):
+            apply_copy(
+                once, "A", "P",
+                [CopyDim(0, "I", "KK", 4), CopyDim(1, "K", "JJ", 3)],
+            )

@@ -1,0 +1,175 @@
+"""Scalar replacement tests: invariant promotion and rotating registers."""
+
+import pytest
+
+from repro.ir import builder as B
+from repro.ir.expr import Var
+from repro.ir.nest import Assign, CRead, Loop, Prefetch, walk_loops, walk_statements
+from repro.kernels import jacobi, matmul
+from repro.transforms import permute, scalar_replace, unroll_and_jam
+
+from tests.transforms.helpers import assert_equivalent
+
+N = Var("N")
+I, J, K = Var("I"), Var("J"), Var("K")
+
+
+def _memory_reads_per_iter(kernel, var):
+    """Array loads inside the (first) statements-only loop named var."""
+    loop = next(
+        l for l in walk_loops(kernel.body)
+        if l.var == var and not any(isinstance(n, Loop) for n in l.body)
+    )
+    count = 0
+    for stmt in loop.body:
+        if isinstance(stmt, Assign):
+            count += sum(1 for _ in stmt.value.reads())
+    return count
+
+
+class TestInvariantPromotion:
+    def test_matmul_c_promoted(self):
+        # Put K innermost first (the register level's choice for mm).
+        mm = permute(matmul(), ("I", "J", "K"))
+        out = scalar_replace(mm, "K")
+        assert_equivalent(mm, out, {"N": 6})
+        # C[I,J] no longer read inside the K loop: only A and B remain.
+        k_loop = next(l for l in walk_loops(out.body) if l.var == "K")
+        arrays_read = {
+            r.array for s in k_loop.body if isinstance(s, Assign) for r in s.value.reads()
+        }
+        assert arrays_read == {"A", "B"}
+
+    def test_matmul_register_tile_after_unroll_jam(self):
+        """Figure 1(b)'s load/store of the C register tile."""
+        mm = permute(matmul(), ("J", "I", "K"))
+        transformed = unroll_and_jam(unroll_and_jam(mm, "I", 2), "J", 2)
+        out = scalar_replace(transformed, "K")
+        assert_equivalent(mm, out, {"N": 6})
+        assert_equivalent(mm, out, {"N": 7})
+        # Memory reads per K iteration: UI + UJ = 4 (C promoted away).
+        assert _memory_reads_per_iter(out, "K") == 4
+
+    def test_prologue_loads_and_epilogue_stores(self):
+        mm = permute(matmul(), ("I", "J", "K"))
+        out = scalar_replace(mm, "K")
+        # Find the J loop (parent of K): body = [load, K-loop, store].
+        i_loop = next(l for l in walk_loops(out.body) if l.var == "J")
+        kinds = [type(n).__name__ for n in i_loop.body]
+        assert kinds == ["Assign", "Loop", "Assign"]
+        load, _, store = i_loop.body
+        assert isinstance(load.value, CRead) and load.value.ref.array == "C"
+        assert str(store.target).startswith("C[")
+
+    def test_empty_loop_safe(self):
+        """Promotion around a potentially empty loop is a no-op store."""
+        k = B.kernel(
+            "empty",
+            params=("N",),
+            arrays=(B.array("A", N), B.array("z", N)),
+            body=B.loop(
+                "J", 1, N,
+                B.loop(
+                    "K", 3, 2,  # never executes
+                    B.assign(B.aref("A", J), B.read("A", J) + B.read("z", K)),
+                ),
+            ),
+        )
+        out = scalar_replace(k, "K")
+        assert_equivalent(k, out, {"N": 4})
+
+
+class TestRotation:
+    def test_jacobi_rotation_semantics(self):
+        jac = jacobi()
+        out = scalar_replace(jac, "I")
+        assert_equivalent(jac, out, {"N": 8}, consts={"c": 0.6})
+
+    def test_jacobi_rotation_after_unroll_jam(self):
+        jac = jacobi()
+        transformed = unroll_and_jam(unroll_and_jam(jac, "J", 2), "K", 2)
+        out = scalar_replace(transformed, "I")
+        assert_equivalent(jac, out, {"N": 8}, consts={"c": 0.6})
+        assert_equivalent(jac, out, {"N": 9}, consts={"c": 0.6})
+
+    def test_rotation_reduces_loads(self):
+        """The I-direction planes are loaded once, not three times."""
+        jac = jacobi()
+        out = scalar_replace(jac, "I")
+        # Original: 6 loads/iter; rotated: B[I+1] plane load (1) + the four
+        # unrotated side loads = 5.
+        assert _memory_reads_per_iter(jac, "I") == 6
+        assert _memory_reads_per_iter(out, "I") == 5
+
+    def test_rotation_moves_are_scalar_assigns(self):
+        jac = jacobi()
+        out = scalar_replace(jac, "I")
+        i_loop = next(l for l in walk_loops(out.body) if l.var == "I")
+        rotations = [
+            s for s in i_loop.body
+            if isinstance(s, Assign) and isinstance(s.target, str)
+            and not isinstance(s.value, CRead) and s.value.flops() == 0
+        ]
+        assert len(rotations) == 2  # s[-1] = s[0]; s[0] = s[+1]
+
+    def test_no_rotation_in_min_bounded_loops(self):
+        """Tiled loops (min bounds) must not get rotating promotion."""
+        from repro.transforms import TileSpec, tile_nest
+
+        jac = jacobi()
+        tiled = tile_nest(jac, [TileSpec("I", "II", 4)], point_order=["K", "J", "I"])
+        out = scalar_replace(tiled, "I")
+        assert_equivalent(jac, out, {"N": 9}, consts={"c": 0.2})
+        # No prologue loads of B planes should appear before the I loop.
+        j_loop = next(l for l in walk_loops(out.body) if l.var == "J")
+        pre_i = []
+        for node in j_loop.body:
+            if isinstance(node, Loop):
+                break
+            pre_i.append(node)
+        assert pre_i == []
+
+
+class TestSafety:
+    def test_aliased_written_array_not_promoted(self):
+        # A[J] and A[J2] may alias (J2 == J possible): no promotion of A.
+        k = B.kernel(
+            "alias",
+            params=("N",),
+            arrays=(B.array("A", N, N),),
+            body=B.loop(
+                "J", 1, N - 1,
+                B.loop(
+                    "J2", 1, N - 1,
+                    B.loop(
+                        "K", 1, N,
+                        B.assign(
+                            B.aref("A", Var("J"), 1),
+                            B.read("A", Var("J2"), 1) + 1.0,
+                        ),
+                    ),
+                ),
+            ),
+        )
+        out = scalar_replace(k, "K")
+        assert_equivalent(k, out, {"N": 5})
+        k_loop = next(l for l in walk_loops(out.body) if l.var == "K")
+        arrays_read = {
+            r.array for s in k_loop.body if isinstance(s, Assign)
+            for r in s.value.reads()
+        }
+        assert "A" in arrays_read  # still reading memory, not a scalar
+
+    def test_prefetch_statements_untouched(self):
+        mm = matmul()
+        from repro.transforms import insert_prefetch
+
+        with_pf = insert_prefetch(mm, "A", distance=1, var="I")
+        out = scalar_replace(with_pf, "I")
+        prefetches = [s for s in walk_statements(out.body) if isinstance(s, Prefetch)]
+        assert prefetches
+
+    def test_loop_with_nested_loops_skipped(self):
+        mm = matmul()
+        out = scalar_replace(mm, "J")  # J contains the I loop
+        assert out.body == mm.body

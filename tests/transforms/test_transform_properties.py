@@ -1,0 +1,93 @@
+"""Property-based tests: random transformation pipelines preserve semantics.
+
+This is the framework's central invariant — any composition of permute,
+tile, unroll-and-jam, scalar replacement, copy and prefetch must compute
+exactly what the original kernel computes, for any problem size (including
+sizes that are not multiples of tile sizes or unroll factors).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import jacobi, matmul
+from repro.transforms import (
+    CopyDim,
+    TileSpec,
+    apply_copy,
+    insert_prefetch,
+    permute,
+    scalar_replace,
+    tile_nest,
+    unroll_and_jam,
+)
+
+from tests.transforms.helpers import assert_equivalent
+
+orders = st.permutations(["I", "J", "K"])
+sizes = st.integers(3, 9)
+tile_sizes = st.integers(1, 6)
+unrolls = st.integers(1, 4)
+
+
+@given(order=orders, n=sizes)
+@settings(max_examples=25, deadline=None)
+def test_permutation_preserves_matmul(order, n):
+    mm = matmul()
+    assert_equivalent(mm, permute(mm, tuple(order)), {"N": n})
+
+
+@given(tk=tile_sizes, tj=tile_sizes, ui=unrolls, uj=unrolls, n=sizes)
+@settings(max_examples=25, deadline=None)
+def test_v1_pipeline_preserves_matmul(tk, tj, ui, uj, n):
+    """The Figure 1(b) pipeline with arbitrary parameters and sizes."""
+    mm = matmul()
+    k = tile_nest(
+        mm,
+        [TileSpec("K", "KK", tk), TileSpec("J", "JJ", tj)],
+        control_order=["KK", "JJ"],
+        point_order=["I", "J", "K"],
+    )
+    k = apply_copy(k, "B", "P", [CopyDim(0, "K", "KK", tk), CopyDim(1, "J", "JJ", tj)])
+    k = unroll_and_jam(k, "I", ui)
+    k = unroll_and_jam(k, "J", uj)
+    k = scalar_replace(k, "K")
+    k = insert_prefetch(k, "A", distance=2, var="K")
+    assert_equivalent(mm, k, {"N": n})
+
+
+@given(uj=st.integers(1, 3), uk=st.integers(1, 3), tj=tile_sizes, n=st.integers(4, 9))
+@settings(max_examples=25, deadline=None)
+def test_figure_2b_pipeline_preserves_jacobi(uj, uk, tj, n):
+    """The Figure 2(b) pipeline: tile J, unroll J and K, rotate along I."""
+    jac = jacobi()
+    k = tile_nest(jac, [TileSpec("J", "JJ", tj)], point_order=["K", "J", "I"])
+    k = unroll_and_jam(k, "K", uk)
+    k = unroll_and_jam(k, "J", uj)
+    k = scalar_replace(k, "I")
+    k = insert_prefetch(k, "B", distance=2, var="I")
+    k = insert_prefetch(k, "A", distance=2, var="I")
+    assert_equivalent(jac, k, {"N": n}, consts={"c": 0.5})
+
+
+@given(
+    ti=tile_sizes, tj=tile_sizes, tk=tile_sizes,
+    ui=st.integers(1, 3), uj=st.integers(1, 3), n=sizes,
+)
+@settings(max_examples=25, deadline=None)
+def test_v2_pipeline_preserves_matmul(ti, tj, tk, ui, uj, n):
+    """The Figure 1(c) pipeline: three-level tiling and two copies."""
+    mm = matmul()
+    k = tile_nest(
+        mm,
+        [TileSpec("K", "KK", tk), TileSpec("J", "JJ", tj), TileSpec("I", "II", ti)],
+        control_order=["KK", "JJ", "II"],
+        point_order=["J", "I", "K"],
+    )
+    k = apply_copy(k, "B", "P", [CopyDim(0, "K", "KK", tk), CopyDim(1, "J", "JJ", tj)])
+    k = apply_copy(k, "A", "Q", [CopyDim(0, "I", "II", ti), CopyDim(1, "K", "KK", tk)])
+    k = unroll_and_jam(k, "I", ui)
+    k = unroll_and_jam(k, "J", uj)
+    k = scalar_replace(k, "K")
+    k = insert_prefetch(k, "P", distance=1, var="K")
+    assert_equivalent(mm, k, {"N": n})

@@ -1,0 +1,125 @@
+"""Unroll-and-jam tests: fringe exactness and jamming structure."""
+
+import pytest
+
+from repro.ir import builder as B
+from repro.ir.expr import Var
+from repro.ir.nest import Loop, walk_loops, walk_statements
+from repro.kernels import jacobi, matmul
+from repro.transforms import TileSpec, TransformError, tile_nest, unroll_and_jam
+
+from tests.transforms.helpers import assert_equivalent
+
+N = Var("N")
+I, J = Var("I"), Var("J")
+
+
+class TestUnrollJamSemantics:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 7, 8])
+    @pytest.mark.parametrize("factor", [2, 3, 4])
+    def test_matmul_unroll_i_all_sizes(self, n, factor):
+        mm = matmul()
+        out = unroll_and_jam(mm, "I", factor)
+        assert_equivalent(mm, out, {"N": n})
+
+    def test_matmul_unroll_i_and_j(self):
+        mm = matmul()
+        out = unroll_and_jam(unroll_and_jam(mm, "I", 4), "J", 2)
+        assert_equivalent(mm, out, {"N": 7})
+
+    def test_jacobi_unroll_j_and_k(self):
+        jac = jacobi()
+        out = unroll_and_jam(unroll_and_jam(jac, "J", 2), "K", 2)
+        assert_equivalent(jac, out, {"N": 8}, consts={"c": 0.4})
+        assert_equivalent(jac, out, {"N": 9}, consts={"c": 0.4})
+
+    def test_unroll_after_tiling(self):
+        mm = matmul()
+        tiled = tile_nest(
+            mm,
+            [TileSpec("K", "KK", 4), TileSpec("J", "JJ", 3)],
+            control_order=["KK", "JJ"],
+            point_order=["I", "J", "K"],
+        )
+        out = unroll_and_jam(unroll_and_jam(tiled, "I", 2), "J", 2)
+        assert_equivalent(mm, out, {"N": 7})
+        assert_equivalent(mm, out, {"N": 8})
+
+    def test_factor_one_is_identity(self):
+        mm = matmul()
+        assert unroll_and_jam(mm, "I", 1) is mm
+
+
+class TestUnrollJamStructure:
+    def test_main_loop_steps_by_factor_and_fringe_exists(self):
+        mm = matmul()
+        out = unroll_and_jam(mm, "I", 4)
+        i_loops = [l for l in walk_loops(out.body) if l.var == "I"]
+        assert len(i_loops) == 2
+        assert i_loops[0].step == 4 and i_loops[1].step == 1
+
+    def test_statements_replicated_in_main_body(self):
+        mm = matmul()
+        out = unroll_and_jam(mm, "I", 4)
+        i_main = next(l for l in walk_loops(out.body) if l.var == "I" and l.step == 4)
+        assert len(list(walk_statements(i_main.body))) == 4
+
+    def test_jam_keeps_single_inner_loop(self):
+        # Unrolling J (outer) must not duplicate the I loop inside it.
+        mm = matmul()
+        out = unroll_and_jam(mm, "J", 2)
+        j_main = next(l for l in walk_loops(out.body) if l.var == "J" and l.step == 2)
+        inner_loops = [n for n in j_main.body if isinstance(n, Loop)]
+        assert len(inner_loops) == 1
+        assert len(list(walk_statements(j_main.body))) == 2
+
+    def test_substitution_shifts_index(self):
+        mm = matmul()
+        out = unroll_and_jam(mm, "J", 2)
+        j_main = next(l for l in walk_loops(out.body) if l.var == "J" and l.step == 2)
+        stmts = list(walk_statements(j_main.body))
+        targets = {str(s.target) for s in stmts}
+        assert targets == {"C[I,J]", "C[I,(J + 1)]"}
+
+
+class TestUnrollJamErrors:
+    def test_zero_factor(self):
+        with pytest.raises(TransformError, match=">= 1"):
+            unroll_and_jam(matmul(), "I", 0)
+
+    def test_unknown_loop(self):
+        with pytest.raises(TransformError, match="no loop"):
+            unroll_and_jam(matmul(), "Z", 2)
+
+    def test_triangular_inner_loop_rejected(self):
+        k = B.kernel(
+            "tri",
+            params=("N",),
+            arrays=(B.array("A", N, N),),
+            body=B.loop(
+                "J", 1, N,
+                B.loop("I", J, N, B.assign(B.aref("A", I, J), B.num(0.0))),
+            ),
+        )
+        with pytest.raises(TransformError, match="non-rectangular"):
+            unroll_and_jam(k, "J", 2)
+
+    def test_illegal_jam_rejected(self):
+        k = B.kernel(
+            "skew",
+            params=("N",),
+            arrays=(B.array("A", N, N),),
+            body=B.loop(
+                "J", 2, N - 1,
+                B.loop("I", 2, N - 1,
+                       B.assign(B.aref("A", I, J), B.read("A", I + 1, J - 1) + 1.0)),
+            ),
+        )
+        with pytest.raises(TransformError, match="reverses a dependence"):
+            unroll_and_jam(k, "J", 2)
+
+    def test_already_stepped_loop_rejected(self):
+        mm = matmul()
+        once = unroll_and_jam(mm, "I", 2)
+        with pytest.raises(TransformError, match="already has step"):
+            unroll_and_jam(once, "I", 2)
