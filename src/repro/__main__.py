@@ -11,6 +11,14 @@ Commands:
 * ``experiments [NAME ...]`` — regenerate the paper's tables/figures
   (default: all; names: table1 table4 fig4 fig5 searchcost motivation
   generality).
+
+``tune`` and ``experiments`` accept evaluation-engine options:
+``-j/--jobs N`` fans candidate batches out over N worker processes
+(results are identical to ``-j 1``, just faster); ``--cache [DIR]``
+enables the content-addressed on-disk result cache (default directory
+``results/cache``), so re-runs skip every previously simulated
+candidate; ``--stats`` prints the measured cache-hit/simulation
+accounting after a tune.
 """
 
 from __future__ import annotations
@@ -21,11 +29,31 @@ from typing import List, Optional
 
 from repro.codegen import emit_c
 from repro.core import EcoOptimizer, derive_variants
+from repro.eval import EvalEngine, ResultCache
 from repro.kernels import KERNELS, get_kernel
 from repro.machines import MACHINES, get_machine
 from repro.sim import execute
 
 _EXPERIMENTS = ("table1", "table4", "fig4", "fig5", "searchcost", "motivation", "generality")
+_DEFAULT_CACHE_DIR = "results/cache"
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "-j", "--jobs", type=_positive_int, default=1, metavar="N",
+        help="evaluate candidate batches on N worker processes (default 1)",
+    )
+    parser.add_argument(
+        "--cache", nargs="?", const=_DEFAULT_CACHE_DIR, default=None, metavar="DIR",
+        help=f"persist evaluation results on disk (default dir: {_DEFAULT_CACHE_DIR})",
+    )
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -48,6 +76,10 @@ def _parser() -> argparse.ArgumentParser:
     tune.add_argument("--emit", metavar="FILE.c", default=None)
     tune.add_argument("--explain", action="store_true",
                       help="print the full optimization report")
+    tune.add_argument("--stats", action="store_true",
+                      help="print evaluation-engine accounting (cache hits, "
+                           "simulations, per-stage wall time)")
+    _add_engine_options(tune)
 
     run = sub.add_parser("run", help="simulate the untransformed kernel")
     run.add_argument("kernel", choices=sorted(KERNELS))
@@ -57,6 +89,7 @@ def _parser() -> argparse.ArgumentParser:
     experiments = sub.add_parser("experiments", help="regenerate paper tables/figures")
     experiments.add_argument("names", nargs="*", choices=[[], *_EXPERIMENTS][1:] or None,
                              default=list(_EXPERIMENTS))
+    _add_engine_options(experiments)
     return parser
 
 
@@ -85,7 +118,14 @@ def _problem(kernel, size: int) -> dict:
 def _cmd_tune(args) -> None:
     machine = get_machine(args.machine)
     kernel = get_kernel(args.kernel)
-    tuned = EcoOptimizer(kernel, machine).optimize(_problem(kernel, args.size))
+    engine = EvalEngine(
+        machine,
+        jobs=args.jobs,
+        cache=ResultCache(args.cache) if args.cache else None,
+    )
+    tuned = EcoOptimizer(kernel, machine, engine=engine).optimize(
+        _problem(kernel, args.size)
+    )
     problem = _problem(kernel, args.size)
     if args.explain:
         from repro.core import explain
@@ -96,6 +136,12 @@ def _cmd_tune(args) -> None:
         counters = tuned.measure(problem)
         print(f"\nat N={args.size}: {counters.mflops:.1f} MFLOPS "
               f"({100 * counters.mflops / machine.peak_mflops:.1f}% of peak)")
+    if args.stats:
+        from repro.experiments.report import format_eval_stats
+
+        print("\nevaluation engine:")
+        print(format_eval_stats(tuned.result.stats))
+    engine.close()
     if args.emit:
         source = emit_c(tuned.build(), with_main=True, main_params=_problem(kernel, args.size))
         with open(args.emit, "w") as handle:
@@ -111,9 +157,10 @@ def _cmd_run(args) -> None:
         print(f"{key:12} {value}")
 
 
-def _cmd_experiments(names: List[str]) -> None:
-    from repro.experiments import fig4, fig5, searchcost, table1, table4
+def _cmd_experiments(names: List[str], jobs: int = 1, cache_dir: Optional[str] = None) -> None:
+    from repro.experiments import fig4, fig5, runner, searchcost, table1, table4
 
+    runner.configure(jobs=jobs, cache_dir=cache_dir)
     for name in names:
         if name == "table1":
             table1.main([])
@@ -149,7 +196,7 @@ def main(argv: Optional[List[str]] = None) -> None:
     elif args.command == "run":
         _cmd_run(args)
     elif args.command == "experiments":
-        _cmd_experiments(args.names)
+        _cmd_experiments(args.names, jobs=args.jobs, cache_dir=args.cache)
 
 
 if __name__ == "__main__":

@@ -20,11 +20,10 @@ from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.core.derive import derive_variants
-from repro.core.variants import PrefetchSite, Variant, instantiate, prefetch_sites
+from repro.core.variants import PrefetchSite, Variant, prefetch_sites
+from repro.eval import EvalEngine
 from repro.ir.nest import Kernel
 from repro.machines import MachineSpec
-from repro.sim import execute
-from repro.transforms import TransformError
 
 __all__ = ["AnnealingSearch", "AnnealingResult"]
 
@@ -52,6 +51,10 @@ class AnnealingSearch:
     seed: int = 0
     initial_temperature: float = 0.3  # relative-cycle scale
     cooling: float = 0.92
+    #: evaluation engine (annealing is inherently sequential — each move
+    #: depends on the last acceptance — but the engine's cache still spares
+    #: it from re-simulating revisited states)
+    engine: Optional[EvalEngine] = None
 
     def run(self, problem: Mapping[str, int], budget: int) -> AnnealingResult:
         rng = random.Random(self.seed)
@@ -120,11 +123,11 @@ class AnnealingSearch:
         full = {**values, **dict(problem)}
         if not variant.feasible(full):
             return math.inf
-        try:
-            inst = instantiate(self.kernel, variant, values, self.machine, prefetch)
-            return execute(inst, dict(problem), self.machine).cycles
-        except TransformError:
-            return math.inf
+        if self.engine is None:
+            self.engine = EvalEngine(self.machine)
+        return self.engine.evaluate(
+            self.kernel, variant, values, dict(problem), prefetch
+        ).cycles
 
     def _accept(self, rng, current: float, candidate: float, temperature: float) -> bool:
         if candidate <= current:

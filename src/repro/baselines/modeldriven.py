@@ -25,6 +25,7 @@ from typing import Dict, List, Mapping, Optional
 from repro.core.derive import derive_variants
 from repro.core.search import GuidedSearch, SearchConfig
 from repro.core.variants import PrefetchSite, Variant, instantiate, prefetch_sites
+from repro.eval import EvalEngine
 from repro.ir.nest import Kernel
 from repro.machines import MachineSpec
 from repro.sim import Counters, execute
@@ -39,6 +40,9 @@ class ModelDriven:
 
     kernel: Kernel
     machine: MachineSpec
+    #: optional shared engine: the *final* measurement (not part of the
+    #: search budget) is then cached alongside everyone else's results
+    engine: Optional[EvalEngine] = None
 
     @property
     def name(self) -> str:
@@ -87,5 +91,12 @@ class ModelDriven:
 
     def measure(self, problem: Mapping[str, int]) -> Counters:
         variant, values, prefetch = self.plan(problem)
+        if self.engine is not None:
+            outcome = self.engine.evaluate(
+                self.kernel, variant, values, dict(problem), prefetch
+            )
+            if outcome.counters is None:
+                raise TransformError("model-driven: chosen variant failed to build")
+            return outcome.counters
         inst = instantiate(self.kernel, variant, values, self.machine, prefetch)
         return execute(inst, dict(problem), self.machine)

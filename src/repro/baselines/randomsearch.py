@@ -22,11 +22,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.core.derive import derive_variants
-from repro.core.variants import PrefetchSite, Variant, instantiate, prefetch_sites
+from repro.core.variants import PrefetchSite, Variant, prefetch_sites
+from repro.eval import EvalEngine, EvalRequest
 from repro.ir.nest import Kernel
 from repro.machines import MachineSpec
-from repro.sim import Counters, execute
-from repro.transforms import TransformError
 
 __all__ = ["RandomSearch", "RandomSearchResult"]
 
@@ -53,17 +52,26 @@ class RandomSearchResult:
 
 @dataclass
 class RandomSearch:
-    """Budgeted uniform sampling over the untamed implementation space."""
+    """Budgeted uniform sampling over the untamed implementation space.
+
+    Sampling is split from evaluation: the whole budget is drawn up front
+    (the draws are independent of the results), duplicates are charged as
+    wasted budget, and the distinct samples go to the evaluation engine in
+    one batch — which simulates them in parallel when the engine has
+    ``jobs > 1``.  The best point is picked by first-strictly-better scan,
+    so results are identical to the old sequential loop at any job count.
+    """
 
     kernel: Kernel
     machine: MachineSpec
     seed: int = 0
+    engine: Optional[EvalEngine] = None
 
     def run(self, problem: Mapping[str, int], budget: int) -> RandomSearchResult:
         rng = random.Random(self.seed)
+        engine = self.engine if self.engine is not None else EvalEngine(self.machine)
         variants = derive_variants(self.kernel, self.machine, max_variants=20)
-        best: Tuple[float, Optional[Variant], Dict[str, int], Dict[PrefetchSite, int]]
-        best = (math.inf, None, {}, {})
+        samples: List[Tuple[Variant, Dict[str, int], Dict[PrefetchSite, int]]] = []
         wasted = 0
         seen = set()
         for _ in range(budget):
@@ -87,14 +95,23 @@ class RandomSearch:
                 wasted += 1  # resampled a point: budget spent, nothing learned
                 continue
             seen.add(key)
-            try:
-                inst = instantiate(self.kernel, variant, values, self.machine, prefetch)
-                counters = execute(inst, dict(problem), self.machine)
-            except (TransformError, MemoryError):
-                wasted += 1
+            samples.append((variant, values, prefetch))
+
+        with engine.stage("random"):
+            outcomes = engine.evaluate_batch(
+                [
+                    EvalRequest.build(self.kernel, v, values, problem, prefetch)
+                    for v, values, prefetch in samples
+                ]
+            )
+        best: Tuple[float, Optional[Variant], Dict[str, int], Dict[PrefetchSite, int]]
+        best = (math.inf, None, {}, {})
+        for (variant, values, prefetch), outcome in zip(samples, outcomes):
+            if not outcome.feasible:
+                wasted += 1  # failing build: budget spent, nothing learned
                 continue
-            if counters.cycles < best[0]:
-                best = (counters.cycles, variant, dict(values), dict(prefetch))
+            if outcome.cycles < best[0]:
+                best = (outcome.cycles, variant, dict(values), dict(prefetch))
         cycles, variant, values, prefetch = best
         return RandomSearchResult(
             variant=variant,

@@ -21,6 +21,7 @@ from typing import Dict, List, Mapping, Optional, Sequence
 from repro.core.derive import derive_variants
 from repro.core.search import GuidedSearch, SearchConfig, SearchResult
 from repro.core.variants import Variant, instantiate
+from repro.eval import EvalEngine
 from repro.ir.nest import Kernel
 from repro.machines import MachineSpec
 from repro.sim import Counters, execute
@@ -85,11 +86,13 @@ class EcoOptimizer:
         machine: MachineSpec,
         config: Optional[SearchConfig] = None,
         max_variants: int = 12,
+        engine: Optional[EvalEngine] = None,
     ) -> None:
         self.kernel = kernel
         self.machine = machine
         self.config = config or SearchConfig()
         self.max_variants = max_variants
+        self.engine = engine
         self._variants: Optional[List[Variant]] = None
 
     @property
@@ -103,6 +106,8 @@ class EcoOptimizer:
 
     def optimize(self, problem: Mapping[str, int]) -> TunedKernel:
         """Run both phases at the given (representative) problem size."""
-        search = GuidedSearch(self.kernel, self.machine, problem, self.config)
+        search = GuidedSearch(
+            self.kernel, self.machine, problem, self.config, engine=self.engine
+        )
         result = search.run(self.variants)
         return TunedKernel(kernel=self.kernel, machine=self.machine, result=result)

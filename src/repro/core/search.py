@@ -21,9 +21,13 @@ For each variant from phase 1 the search
 5. **re-adjusts tiling after prefetch**: widens the innermost tile while
    performance improves (prefetching favours longer inner loops).
 
-Every experiment is a real execution on the simulated machine; results
-are memoized, and the total number of *distinct* points evaluated is
-reported (the paper's §4.3 search-cost metric).
+Every experiment is a real execution on the simulated machine, performed
+through the :class:`~repro.eval.EvalEngine` — which memoizes results by
+content-addressed key (optionally on disk, so re-runs and staged searches
+share work) and can fan independent candidate batches out over worker
+processes.  The total number of *distinct* points this search visited is
+reported (the paper's §4.3 search-cost metric) alongside the engine's
+measured cache-hit/simulation counts.
 
 Because phase 1 can emit more sibling variants than the paper's Table 4
 lists, the search first *screens* all variants at their initial points and
@@ -46,12 +50,12 @@ from repro.core.variants import (
     instantiate,
     prefetch_sites,
 )
+from repro.eval import EvalEngine, EvalRequest, stats_delta
 from repro.ir.expr import Const, Mul, Var
 from repro.ir.nest import Kernel, Prefetch, walk_statements
 from repro.machines import MachineSpec
-from repro.sim import Counters, execute
+from repro.sim import Counters
 from repro.transforms import TransformError
-from repro.transforms.padding import pad_arrays
 
 __all__ = ["SearchConfig", "SearchResult", "GuidedSearch"]
 
@@ -87,6 +91,10 @@ class SearchResult:
     machine_seconds: float
     variants_considered: int
     history: List[Tuple[str, Dict[str, int], float]] = field(default_factory=list)
+    #: evaluation-engine accounting for this search (cache hits by layer,
+    #: simulations actually run, wall time per stage) — the measured
+    #: numbers behind the search-cost tables
+    stats: Dict[str, object] = field(default_factory=dict)
 
     @property
     def cycles(self) -> float:
@@ -106,11 +114,17 @@ class GuidedSearch:
         machine: MachineSpec,
         problem: Mapping[str, int],
         config: Optional[SearchConfig] = None,
+        engine: Optional[EvalEngine] = None,
     ) -> None:
         self.kernel = kernel
         self.machine = machine
         self.problem = dict(problem)
         self.config = config or SearchConfig()
+        if engine is not None and engine.machine.name != machine.name:
+            raise ValueError(
+                f"engine is bound to {engine.machine.name}, search targets {machine.name}"
+            )
+        self.engine = engine if engine is not None else EvalEngine(machine)
         self._cache: Dict[Tuple, float] = {}
         self._counters: Dict[Tuple, Counters] = {}
         self.points = 0
@@ -126,31 +140,73 @@ class GuidedSearch:
         pads: Optional[Mapping[str, int]] = None,
     ) -> float:
         """Cycles of one experiment (inf when infeasible); memoized."""
-        values = dict(values)
-        prefetch = dict(prefetch or {})
-        pads = {k: v for k, v in (pads or {}).items() if v}
-        key = self._key(variant, values, prefetch, pads)
-        if key in self._cache:
-            return self._cache[key]
-        cycles = math.inf
-        full = {**values, **self.problem}
-        if variant.feasible(full) and all(v >= 1 for v in values.values()):
-            try:
-                inst = instantiate(
-                    self.kernel, variant, values, self.machine, prefetch
+        return self.measure_many([(variant, values, prefetch, pads)])[0]
+
+    def measure_many(
+        self,
+        items: Sequence[
+            Tuple[
+                Variant,
+                Mapping[str, int],
+                Optional[Mapping[PrefetchSite, int]],
+                Optional[Mapping[str, int]],
+            ]
+        ],
+    ) -> List[float]:
+        """Cycles for a batch of independent experiments, in input order.
+
+        Model-infeasible points cost nothing (inf without an experiment,
+        as before); the rest go to the evaluation engine in one batch, so
+        with ``jobs > 1`` they simulate concurrently.  Accounting (points,
+        history, machine seconds) is folded in input order, making the
+        result — including ``SearchResult.history`` — independent of the
+        engine's parallelism.
+        """
+        normalized = []
+        requests: List[EvalRequest] = []
+        request_index: List[Optional[int]] = []
+        for variant, values, prefetch, pads in items:
+            values = dict(values)
+            prefetch = dict(prefetch or {})
+            pads = {k: v for k, v in (pads or {}).items() if v}
+            key = self._key(variant, values, prefetch, pads)
+            full = {**values, **self.problem}
+            runnable = (
+                key not in self._cache
+                and variant.feasible(full)
+                and all(v >= 1 for v in values.values())
+            )
+            normalized.append((variant, values, prefetch, pads, key, runnable))
+            if runnable:
+                request_index.append(len(requests))
+                requests.append(
+                    EvalRequest.build(
+                        self.kernel, variant, values, self.problem, prefetch, pads
+                    )
                 )
-                if pads:
-                    inst = pad_arrays(inst, pads)
-                counters = execute(inst, self.problem, self.machine)
-                cycles = counters.cycles
-                self._counters[key] = counters
-                self.machine_seconds += counters.seconds
-            except TransformError:
-                cycles = math.inf
-            self.points += 1
-            self.history.append((variant.name, dict(values), cycles))
-        self._cache[key] = cycles
-        return cycles
+            else:
+                request_index.append(None)
+        outcomes = self.engine.evaluate_batch(requests) if requests else []
+
+        results: List[float] = []
+        for (variant, values, prefetch, pads, key, runnable), req_i in zip(
+            normalized, request_index
+        ):
+            if key in self._cache:
+                results.append(self._cache[key])
+                continue
+            cycles = math.inf
+            if runnable:
+                outcome = outcomes[req_i]
+                cycles = outcome.cycles
+                if outcome.counters is not None:
+                    self._counters[key] = outcome.counters
+                    self.machine_seconds += outcome.counters.seconds
+                self.points += 1
+                self.history.append((variant.name, dict(values), cycles))
+            self._cache[key] = cycles
+            results.append(cycles)
+        return results
 
     def _key(self, variant, values, prefetch, pads=None) -> Tuple:
         return (
@@ -164,11 +220,13 @@ class GuidedSearch:
     def run(self, variants: Sequence[Variant]) -> SearchResult:
         """Screen all variants, fully search the best few, pick the winner."""
         start = time.perf_counter()
-        screened: List[Tuple[float, Variant, Dict[str, int]]] = []
-        for variant in variants:
-            values = self.initial_values(variant)
-            cycles = self.measure(variant, values)
-            screened.append((cycles, variant, values))
+        stats_before = self.engine.stats.as_dict()
+        with self.engine.stage("screen"):
+            seeds = [self.initial_values(variant) for variant in variants]
+            cycles_list = self.measure_many(
+                [(variant, values, None, None) for variant, values in zip(variants, seeds)]
+            )
+        screened = list(zip(cycles_list, variants, seeds))
         screened.sort(key=lambda item: item[0])
         feasible = [item for item in screened if math.isfinite(item[0])]
         if not feasible:
@@ -177,10 +235,13 @@ class GuidedSearch:
         best: Optional[Tuple[float, Variant, Dict[str, int], Dict[PrefetchSite, int], Dict[str, int]]]
         best = None
         for _, variant, seed in feasible[: self.config.full_search_variants]:
-            values = self.search_tiling(variant, seed)
-            values, prefetch = self.search_prefetch(variant, values)
-            values = self.adjust_after_prefetch(variant, values, prefetch)
-            pads = self.search_padding(variant, values, prefetch)
+            with self.engine.stage("tiling"):
+                values = self.search_tiling(variant, seed)
+            with self.engine.stage("prefetch"):
+                values, prefetch = self.search_prefetch(variant, values)
+                values = self.adjust_after_prefetch(variant, values, prefetch)
+            with self.engine.stage("padding"):
+                pads = self.search_padding(variant, values, prefetch)
             cycles = self.measure(variant, values, prefetch, pads)
             if best is None or cycles < best[0]:
                 best = (cycles, variant, values, prefetch, pads)
@@ -199,6 +260,7 @@ class GuidedSearch:
             machine_seconds=self.machine_seconds,
             variants_considered=len(variants),
             history=self.history,
+            stats=stats_delta(stats_before, self.engine.stats.as_dict()),
         )
 
     # -- stage construction -------------------------------------------------

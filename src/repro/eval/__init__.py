@@ -1,0 +1,29 @@
+"""Candidate-evaluation engine: caching + parallel execution + accounting.
+
+Sits between the searches (``repro.core.search``, ``repro.baselines``)
+and the simulator (``repro.sim``).  See :mod:`repro.eval.engine` for the
+design notes.
+"""
+
+from repro.eval.cache import CachedResult, ResultCache
+from repro.eval.engine import (
+    EvalEngine,
+    EvalOutcome,
+    EvalRequest,
+    EvalStats,
+    StageStats,
+    stats_delta,
+)
+from repro.eval.keys import candidate_key
+
+__all__ = [
+    "CachedResult",
+    "ResultCache",
+    "EvalEngine",
+    "EvalOutcome",
+    "EvalRequest",
+    "EvalStats",
+    "StageStats",
+    "stats_delta",
+    "candidate_key",
+]

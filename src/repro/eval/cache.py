@@ -1,0 +1,142 @@
+"""Result cache for candidate evaluations: memory layer + on-disk layer.
+
+Keys are the content hashes of :func:`repro.eval.keys.candidate_key`, so
+the cache is safe to share between searches, processes and runs: two
+entries collide only when they describe the same experiment, in which
+case the stored result is the right answer by construction.
+
+The on-disk layer (default ``results/cache/``) stores one small JSON file
+per result, sharded by key prefix to keep directories small.  Writes are
+atomic (write-to-temp + rename) so a killed run never leaves a truncated
+entry behind; reads treat any unparsable or ill-formed file as a miss and
+remove it, so a corrupted cache degrades to re-simulation instead of
+crashing or poisoning results.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.sim.counters import Counters
+
+__all__ = ["CachedResult", "ResultCache"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class CachedResult:
+    """One stored evaluation: cycles (inf = infeasible/failed) + counters."""
+
+    cycles: float
+    counters: Optional[Counters]
+
+
+def _counters_to_jsonable(counters: Counters) -> dict:
+    data = dict(counters.__dict__)
+    data["cache_hits"] = list(counters.cache_hits)
+    data["cache_misses"] = list(counters.cache_misses)
+    return data
+
+
+def _counters_from_jsonable(data: dict) -> Counters:
+    fields = dict(data)
+    fields["params"] = {str(k): int(v) for k, v in fields["params"].items()}
+    fields["cache_hits"] = tuple(fields["cache_hits"])
+    fields["cache_misses"] = tuple(fields["cache_misses"])
+    return Counters(**fields)
+
+
+class ResultCache:
+    """Two-level (memory, disk) store of evaluation results by key."""
+
+    def __init__(self, path: Optional[Union[str, Path]] = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self._memory: Dict[str, CachedResult] = {}
+        self.corrupt_entries = 0
+
+    # -- lookup ---------------------------------------------------------
+    def get_memory(self, key: str) -> Optional[CachedResult]:
+        return self._memory.get(key)
+
+    def get_disk(self, key: str) -> Optional[CachedResult]:
+        """Read a disk entry; corrupted entries count as misses and are
+        removed so the next write repairs them."""
+        if self.path is None:
+            return None
+        file = self._file_for(key)
+        try:
+            raw = file.read_text()
+        except OSError:
+            return None
+        try:
+            result = self._decode(raw, key)
+        except (ValueError, KeyError, TypeError):
+            self.corrupt_entries += 1
+            try:
+                file.unlink()
+            except OSError:
+                pass
+            return None
+        self._memory[key] = result
+        return result
+
+    # -- store ----------------------------------------------------------
+    def put(self, key: str, result: CachedResult) -> None:
+        self._memory[key] = result
+        if self.path is None:
+            return
+        file = self._file_for(key)
+        file.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": _FORMAT_VERSION,
+            "key": key,
+            "cycles": None if math.isinf(result.cycles) else result.cycles,
+            "counters": (
+                _counters_to_jsonable(result.counters)
+                if result.counters is not None
+                else None
+            ),
+        }
+        fd, tmp = tempfile.mkstemp(prefix=".tmp-", dir=str(file.parent))
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp, file)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    # -- helpers --------------------------------------------------------
+    def _file_for(self, key: str) -> Path:
+        assert self.path is not None
+        return self.path / key[:2] / f"{key}.json"
+
+    def _decode(self, raw: str, key: str) -> CachedResult:
+        payload = json.loads(raw)
+        if not isinstance(payload, dict) or payload.get("version") != _FORMAT_VERSION:
+            raise ValueError("unknown cache entry format")
+        if payload.get("key") != key:
+            raise ValueError("cache entry key mismatch")
+        cycles = payload["cycles"]
+        counters = payload["counters"]
+        if cycles is None:
+            return CachedResult(math.inf, None)
+        return CachedResult(
+            float(cycles),
+            _counters_from_jsonable(counters) if counters is not None else None,
+        )
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def clear_memory(self) -> None:
+        self._memory.clear()

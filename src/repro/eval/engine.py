@@ -1,0 +1,332 @@
+"""Candidate-evaluation engine: the layer between search and simulator.
+
+Every empirical search in the repo (ECO's guided search, the random /
+annealing / model-driven baselines, mini-ATLAS) ultimately performs the
+same operation: *instantiate a variant at a parameter point and run it on
+the simulated machine*.  :class:`EvalEngine` centralizes that operation
+and adds what a bare ``execute()`` call cannot:
+
+* **content-addressed caching** — results are keyed by
+  :func:`repro.eval.keys.candidate_key`, so staged searches, re-runs and
+  different search strategies never re-simulate an identical candidate;
+  with a disk-backed :class:`~repro.eval.cache.ResultCache` the cache
+  survives across processes and sessions;
+* **parallel batch evaluation** — :meth:`EvalEngine.evaluate_batch` fans
+  cache misses out over a ``ProcessPoolExecutor`` (``jobs > 1``) with
+  results returned in input order, so parallel and serial runs are
+  byte-identical; ``jobs = 1`` is a plain in-process loop;
+* **measured accounting** — :class:`EvalStats` counts cache hits by
+  layer, simulations actually run, failed instantiations, and wall time
+  per named search stage, so search-cost claims are backed by numbers.
+
+The simulation itself stays in :func:`repro.sim.execute`; the engine only
+decides *whether* and *where* to run it.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.variants import PrefetchSite, Variant, instantiate
+from repro.eval.cache import CachedResult, ResultCache
+from repro.eval.keys import candidate_key
+from repro.ir.nest import Kernel
+from repro.machines import MachineSpec
+from repro.sim import execute
+from repro.sim.counters import Counters
+from repro.transforms import TransformError
+from repro.transforms.padding import pad_arrays
+
+__all__ = ["EvalEngine", "EvalOutcome", "EvalRequest", "EvalStats", "StageStats"]
+
+
+@dataclass(frozen=True)
+class EvalRequest:
+    """One candidate experiment: recipe + binding + problem size."""
+
+    kernel: Kernel
+    variant: Variant
+    values: Tuple[Tuple[str, int], ...]
+    prefetch: Tuple[Tuple[PrefetchSite, int], ...]
+    pads: Tuple[Tuple[str, int], ...]
+    problem: Tuple[Tuple[str, int], ...]
+
+    @classmethod
+    def build(
+        cls,
+        kernel: Kernel,
+        variant: Variant,
+        values: Mapping[str, int],
+        problem: Mapping[str, int],
+        prefetch: Optional[Mapping[PrefetchSite, int]] = None,
+        pads: Optional[Mapping[str, int]] = None,
+    ) -> "EvalRequest":
+        return cls(
+            kernel=kernel,
+            variant=variant,
+            values=tuple(sorted((k, int(v)) for k, v in values.items())),
+            prefetch=tuple(
+                sorted(
+                    ((s, int(d)) for s, d in (prefetch or {}).items()),
+                    key=lambda item: (item[0].array, item[0].loop),
+                )
+            ),
+            pads=tuple(sorted((k, int(v)) for k, v in (pads or {}).items() if v)),
+            problem=tuple(sorted((k, int(v)) for k, v in problem.items())),
+        )
+
+
+@dataclass
+class EvalOutcome:
+    """Result of one evaluation, with its provenance."""
+
+    key: str
+    cycles: float
+    counters: Optional[Counters]
+    source: str  # "sim" | "memory" | "disk"
+
+    @property
+    def cached(self) -> bool:
+        return self.source != "sim"
+
+    @property
+    def feasible(self) -> bool:
+        return math.isfinite(self.cycles)
+
+
+@dataclass
+class StageStats:
+    """Per-stage accounting (one named phase of a search)."""
+
+    wall_seconds: float = 0.0
+    simulations: int = 0
+    cache_hits: int = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "wall_seconds": self.wall_seconds,
+            "simulations": self.simulations,
+            "cache_hits": self.cache_hits,
+        }
+
+
+@dataclass
+class EvalStats:
+    """Counters surfaced to experiment reports and the CLI."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    simulations: int = 0
+    failures: int = 0  # simulations whose instantiation/transform failed
+    batches: int = 0
+    wall_seconds: float = 0.0
+    stages: Dict[str, StageStats] = field(default_factory=dict)
+
+    @property
+    def cache_hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def evaluations(self) -> int:
+        return self.cache_hits + self.simulations
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "cache_hits": self.cache_hits,
+            "simulations": self.simulations,
+            "failures": self.failures,
+            "batches": self.batches,
+            "wall_seconds": self.wall_seconds,
+            "stages": {name: s.as_dict() for name, s in self.stages.items()},
+        }
+
+
+def stats_delta(before: Dict[str, object], after: Dict[str, object]) -> Dict[str, object]:
+    """Per-search view of a (possibly shared) engine's cumulative stats."""
+    out: Dict[str, object] = {}
+    for key in ("memory_hits", "disk_hits", "cache_hits", "simulations", "failures", "batches"):
+        out[key] = int(after[key]) - int(before.get(key, 0))
+    out["wall_seconds"] = float(after["wall_seconds"]) - float(before.get("wall_seconds", 0.0))
+    stages: Dict[str, Dict[str, float]] = {}
+    before_stages = before.get("stages", {})
+    for name, stage in after.get("stages", {}).items():
+        prior = before_stages.get(name, {})
+        delta = {k: stage[k] - prior.get(k, 0) for k in stage}
+        if any(delta.values()):
+            stages[name] = delta
+    out["stages"] = stages
+    return out
+
+
+def _simulate(payload: Tuple) -> Tuple[float, Optional[Counters]]:
+    """Worker: instantiate + pad + execute one candidate.
+
+    Module-level so it pickles for ``ProcessPoolExecutor``; also the
+    serial path, so both modes run literally the same code.
+    """
+    kernel, variant, values, prefetch, pads, problem, machine = payload
+    try:
+        inst = instantiate(kernel, variant, dict(values), machine, dict(prefetch))
+        if pads:
+            inst = pad_arrays(inst, dict(pads))
+        counters = execute(inst, dict(problem), machine)
+        return counters.cycles, counters
+    except (TransformError, ValueError, MemoryError):
+        # TransformError/ValueError: the binding cannot be built (e.g. a
+        # copy that does not divide, a zero tile size); MemoryError: the
+        # padded working set exceeds the host.  All are infeasible points.
+        return math.inf, None
+
+
+class EvalEngine:
+    """Cached, optionally parallel evaluation of candidates on one machine."""
+
+    def __init__(
+        self,
+        machine: MachineSpec,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        cache_dir: Optional[str] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.machine = machine
+        self.jobs = jobs
+        self.cache = cache if cache is not None else ResultCache(cache_dir)
+        self.stats = EvalStats()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._stage: Optional[StageStats] = None
+
+    # -- public API -----------------------------------------------------
+    def evaluate(
+        self,
+        kernel: Kernel,
+        variant: Variant,
+        values: Mapping[str, int],
+        problem: Mapping[str, int],
+        prefetch: Optional[Mapping[PrefetchSite, int]] = None,
+        pads: Optional[Mapping[str, int]] = None,
+    ) -> EvalOutcome:
+        """Evaluate a single candidate (cache-first, serial)."""
+        request = EvalRequest.build(kernel, variant, values, problem, prefetch, pads)
+        return self.evaluate_batch([request])[0]
+
+    def evaluate_batch(self, requests: Sequence[EvalRequest]) -> List[EvalOutcome]:
+        """Evaluate candidates, returning outcomes in input order.
+
+        Identical candidates within the batch are simulated once.  Cache
+        misses run on the process pool when ``jobs > 1`` (deterministic,
+        input-ordered gather), else serially in-process.
+        """
+        start = time.perf_counter()
+        self.stats.batches += 1
+        keys = [self._key_of(req) for req in requests]
+        outcomes: List[Optional[EvalOutcome]] = [None] * len(requests)
+
+        # 1. cache lookups (memory, then disk), dedup within the batch
+        to_run: List[int] = []  # index of first occurrence per missing key
+        pending: Dict[str, List[int]] = {}
+        for i, (req, key) in enumerate(zip(requests, keys)):
+            hit = self.cache.get_memory(key)
+            source = "memory"
+            if hit is None:
+                hit = self.cache.get_disk(key)
+                source = "disk"
+            if hit is not None:
+                self._count_hit(source)
+                outcomes[i] = EvalOutcome(key, hit.cycles, hit.counters, source)
+                continue
+            if key in pending:
+                pending[key].append(i)
+            else:
+                pending[key] = [i]
+                to_run.append(i)
+
+        # 2. simulate the misses
+        if to_run:
+            payloads = [self._payload_of(requests[i]) for i in to_run]
+            if self.jobs > 1 and len(payloads) > 1:
+                results = list(self._map_parallel(payloads))
+            else:
+                results = [_simulate(p) for p in payloads]
+            for i, (cycles, counters) in zip(to_run, results):
+                key = keys[i]
+                self.stats.simulations += 1
+                if self._stage is not None:
+                    self._stage.simulations += 1
+                if counters is None:
+                    self.stats.failures += 1
+                self.cache.put(key, CachedResult(cycles, counters))
+                for j in pending[key]:
+                    outcomes[j] = EvalOutcome(key, cycles, counters, "sim")
+
+        self.stats.wall_seconds += time.perf_counter() - start
+        assert all(o is not None for o in outcomes)
+        return outcomes  # type: ignore[return-value]
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[StageStats]:
+        """Attribute wall time / simulations / hits to a named stage."""
+        stats = self.stats.stages.setdefault(name, StageStats())
+        previous, self._stage = self._stage, stats
+        start = time.perf_counter()
+        try:
+            yield stats
+        finally:
+            stats.wall_seconds += time.perf_counter() - start
+            self._stage = previous
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "EvalEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- internals ------------------------------------------------------
+    def _key_of(self, req: EvalRequest) -> str:
+        return candidate_key(
+            req.kernel,
+            req.variant,
+            dict(req.values),
+            dict(req.prefetch),
+            dict(req.pads),
+            dict(req.problem),
+            self.machine,
+        )
+
+    def _payload_of(self, req: EvalRequest) -> Tuple:
+        return (
+            req.kernel,
+            req.variant,
+            req.values,
+            req.prefetch,
+            req.pads,
+            req.problem,
+            self.machine,
+        )
+
+    def _count_hit(self, source: str) -> None:
+        if source == "memory":
+            self.stats.memory_hits += 1
+        else:
+            self.stats.disk_hits += 1
+        if self._stage is not None:
+            self._stage.cache_hits += 1
+
+    def _map_parallel(self, payloads: List[Tuple]) -> List[Tuple[float, Optional[Counters]]]:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        futures = [self._pool.submit(_simulate, p) for p in payloads]
+        return [f.result() for f in futures]

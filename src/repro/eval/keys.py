@@ -1,0 +1,109 @@
+"""Content-addressed candidate keys.
+
+A candidate experiment is fully determined by (a) the kernel IR being
+transformed, (b) the variant recipe and its concrete parameter binding,
+prefetch placement and padding, (c) the problem size, and (d) the machine
+spec (which shapes both the generated code — copy-buffer conflict pads,
+prefetch line granularity — and the simulated timing).  ``candidate_key``
+hashes a canonical serialization of all four, so the same candidate maps
+to the same key in every process and on every run: the basis of the
+on-disk result cache (:mod:`repro.eval.cache`).
+
+Everything is serialized through stable, human-auditable forms (the IR
+pseudo-printer, ``str(Expr)``, sorted item lists) rather than ``pickle``
+or ``hash()``, both of which vary across interpreter runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Mapping, Optional
+
+from repro.core.variants import PrefetchSite, Variant
+from repro.ir.nest import Kernel
+from repro.ir.printer import format_kernel
+from repro.machines import MachineSpec
+
+__all__ = [
+    "candidate_key",
+    "kernel_fingerprint",
+    "machine_fingerprint",
+    "variant_fingerprint",
+]
+
+
+def kernel_fingerprint(kernel: Kernel) -> dict:
+    """Canonical description of a kernel: declarations + printed body."""
+    return {
+        "name": kernel.name,
+        "params": list(kernel.params),
+        "consts": list(kernel.consts),
+        "arrays": [
+            {
+                "name": decl.name,
+                "shape": [str(dim) for dim in decl.shape],
+                "temp": bool(decl.temp),
+            }
+            for decl in kernel.arrays
+        ],
+        "flop_basis": str(kernel.flop_basis) if kernel.flop_basis is not None else None,
+        "body": format_kernel(kernel),
+    }
+
+
+def variant_fingerprint(variant: Variant) -> dict:
+    """Canonical description of a variant recipe (phase 1's output)."""
+    return {
+        "name": variant.name,
+        "kernel": variant.kernel_name,
+        "point_order": list(variant.point_order),
+        "control_order": list(variant.control_order),
+        "tiles": [list(t) for t in variant.tiles],
+        "unrolls": [list(u) for u in variant.unrolls],
+        "register_loop": variant.register_loop,
+        "copies": [
+            {
+                "array": plan.array,
+                "temp": plan.temp,
+                "dims": [list(d) for d in plan.dims],
+                "level": plan.level,
+            }
+            for plan in variant.copies
+        ],
+        "constraints": [
+            [str(c.expr), str(c.bound), c.label, bool(c.hard)]
+            for c in variant.constraints
+        ],
+    }
+
+
+def machine_fingerprint(machine: MachineSpec) -> dict:
+    """Canonical description of a machine spec (frozen dataclasses)."""
+    return dataclasses.asdict(machine)
+
+
+def candidate_key(
+    kernel: Kernel,
+    variant: Variant,
+    values: Mapping[str, int],
+    prefetch: Optional[Mapping[PrefetchSite, int]],
+    pads: Optional[Mapping[str, int]],
+    problem: Mapping[str, int],
+    machine: MachineSpec,
+) -> str:
+    """SHA-256 hex digest identifying one candidate experiment."""
+    payload = {
+        "kernel": kernel_fingerprint(kernel),
+        "variant": variant_fingerprint(variant),
+        "values": sorted((k, int(v)) for k, v in values.items()),
+        "prefetch": sorted(
+            (site.array, site.loop, int(d)) for site, d in (prefetch or {}).items()
+        ),
+        "pads": sorted((k, int(v)) for k, v in (pads or {}).items() if v),
+        "problem": sorted((k, int(v)) for k, v in problem.items()),
+        "machine": machine_fingerprint(machine),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

@@ -10,7 +10,7 @@ import csv
 import io
 from typing import Dict, List, Mapping, Optional, Sequence
 
-__all__ = ["format_table", "format_series", "write_csv", "header"]
+__all__ = ["format_table", "format_series", "format_eval_stats", "write_csv", "header"]
 
 
 def header(title: str, machine_desc: str = "") -> str:
@@ -73,6 +73,34 @@ def format_series(
         bar = "#" * int(width * series[names[0]][i] / peak)
         lines.append(f"{x:8d}  " + "  ".join(cells) + "  |" + bar)
     return "\n".join(lines)
+
+
+def format_eval_stats(stats: Mapping[str, object]) -> str:
+    """Render one search's evaluation accounting (``SearchResult.stats``).
+
+    Shows the measured split between cache hits and simulations actually
+    run, plus wall time per search stage — the numbers backing the
+    search-cost claims.
+    """
+    sims = stats.get("simulations", 0)
+    hits = stats.get("cache_hits", 0)
+    parts = [
+        f"evaluations: {int(sims) + int(hits):,} "
+        f"({sims:,} simulated, {hits:,} cached)",
+    ]
+    failures = stats.get("failures", 0)
+    if failures:
+        parts.append(f"failed builds: {failures:,}")
+    stages = stats.get("stages", {})
+    if isinstance(stages, Mapping) and stages:
+        stage_bits = []
+        for name, stage in stages.items():
+            stage_bits.append(
+                f"{name} {stage.get('wall_seconds', 0.0):.2f}s"
+                f"/{int(stage.get('simulations', 0))} sims"
+            )
+        parts.append("stages: " + ", ".join(stage_bits))
+    return "\n".join(parts)
 
 
 def write_csv(path: str, rows: Sequence[Mapping[str, object]]) -> None:

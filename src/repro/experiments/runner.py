@@ -1,25 +1,90 @@
-"""Shared experiment plumbing: cached tuning runs.
+"""Shared experiment plumbing: engines + cached tuning runs.
 
 Tuning (ECO's guided search, mini-ATLAS's orthogonal search) is the
 expensive step, and several experiments need the same tuned kernels
 (Figure 4 measures them across sizes; §4.3 reports their search cost), so
 tuned results are cached per (kernel, machine, tuning size) within the
 process.
+
+Underneath, every ECO search runs through one shared
+:class:`~repro.eval.EvalEngine` per machine, so distinct experiments that
+visit the same candidate point share its simulation, and the aggregate
+cache-hit/simulation counts are available for reporting
+(:func:`engine_stats`).  :func:`configure` sets the process-wide
+parallelism (``jobs``) and the optional on-disk cache directory
+(conventionally ``results/cache/``) used by every engine created after
+the call.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.baselines import MiniAtlas
 from repro.core import EcoOptimizer, SearchConfig, TunedKernel
+from repro.eval import EvalEngine, ResultCache
 from repro.kernels import get_kernel
 from repro.machines import get_machine
 
-__all__ = ["tuned_eco", "tuned_atlas", "clear_cache"]
+__all__ = [
+    "configure",
+    "engine_for",
+    "engine_stats",
+    "tuned_eco",
+    "tuned_atlas",
+    "clear_cache",
+]
 
 _ECO_CACHE: Dict[Tuple[str, str, int], TunedKernel] = {}
 _ATLAS_CACHE: Dict[Tuple[str, int], MiniAtlas] = {}
+_ENGINES: Dict[str, EvalEngine] = {}
+_JOBS: int = 1
+_CACHE_DIR: Optional[str] = None
+
+
+def configure(jobs: int = 1, cache_dir: Optional[str] = None) -> None:
+    """Set evaluation parallelism and the on-disk result-cache directory.
+
+    Applies to engines created afterwards; existing engines (and the
+    tuned-kernel caches that used them) are dropped so the settings take
+    effect uniformly.
+    """
+    global _JOBS, _CACHE_DIR
+    _JOBS = max(1, int(jobs))
+    _CACHE_DIR = cache_dir
+    clear_cache()
+
+
+def engine_for(machine_name: str) -> EvalEngine:
+    """The process-wide evaluation engine for one machine."""
+    machine = get_machine(machine_name)
+    engine = _ENGINES.get(machine.name)
+    if engine is None:
+        engine = EvalEngine(
+            machine, jobs=_JOBS, cache=ResultCache(_CACHE_DIR) if _CACHE_DIR else None
+        )
+        _ENGINES[machine.name] = engine
+    return engine
+
+
+def engine_stats() -> List[Dict[str, object]]:
+    """One accounting row per active engine (for reports / the CLI)."""
+    rows: List[Dict[str, object]] = []
+    for name in sorted(_ENGINES):
+        stats = _ENGINES[name].stats
+        rows.append(
+            {
+                "machine": name,
+                "evaluations": stats.evaluations,
+                "simulations": stats.simulations,
+                "cache_hits": stats.cache_hits,
+                "memory_hits": stats.memory_hits,
+                "disk_hits": stats.disk_hits,
+                "failures": stats.failures,
+                "eval_wall_s": round(stats.wall_seconds, 1),
+            }
+        )
+    return rows
 
 
 def tuned_eco(kernel_name: str, machine_name: str, tuning_size: int) -> TunedKernel:
@@ -27,7 +92,9 @@ def tuned_eco(kernel_name: str, machine_name: str, tuning_size: int) -> TunedKer
     machine = get_machine(machine_name)
     key = (kernel_name, machine.name, tuning_size)
     if key not in _ECO_CACHE:
-        optimizer = EcoOptimizer(get_kernel(kernel_name), machine)
+        optimizer = EcoOptimizer(
+            get_kernel(kernel_name), machine, engine=engine_for(machine_name)
+        )
         _ECO_CACHE[key] = optimizer.optimize({"N": tuning_size})
     return _ECO_CACHE[key]
 
@@ -46,3 +113,6 @@ def tuned_atlas(machine_name: str, tuning_size: int) -> MiniAtlas:
 def clear_cache() -> None:
     _ECO_CACHE.clear()
     _ATLAS_CACHE.clear()
+    for engine in _ENGINES.values():
+        engine.close()
+    _ENGINES.clear()

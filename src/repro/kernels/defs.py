@@ -187,4 +187,10 @@ def get_kernel(name: str) -> Kernel:
         factory = KERNELS[name]
     except KeyError:
         raise KeyError(f"unknown kernel {name!r}; known: {', '.join(sorted(KERNELS))}") from None
-    return factory()
+    kernel = factory()
+    if kernel.name != name:
+        raise RuntimeError(
+            f"kernel registry is not canonical: key {name!r} built a kernel "
+            f"named {kernel.name!r}"
+        )
+    return kernel

@@ -7,6 +7,7 @@ from repro.analysis.dependence import compute_dependences, tiling_legal
 from repro.codegen.interp import allocate_arrays, run_kernel
 from repro.core import derive_variants
 from repro.ir.nest import loop_order
+from repro.ir.validate import validate_kernel
 from repro.kernels import KERNELS, conv2d, get_kernel
 from repro.machines import get_machine
 
@@ -15,7 +16,8 @@ class TestRegistry:
     def test_all_kernels_construct_and_validate(self):
         for name in KERNELS:
             kernel = get_kernel(name)
-            assert kernel.name == name or name == "mm"
+            assert kernel.name == name
+            validate_kernel(kernel)
 
     def test_unknown_kernel(self):
         with pytest.raises(KeyError, match="unknown kernel"):
