@@ -10,7 +10,9 @@ Commands:
   kernel and print its counters (a quick simulator probe);
 * ``experiments [NAME ...]`` — regenerate the paper's tables/figures
   (default: all; names: table1 table4 fig4 fig5 searchcost motivation
-  generality).
+  generality);
+* ``trace summary|timeline|convergence|chrome TRACE.jsonl`` — analyze a
+  search trace (see ``docs/observability.md``).
 
 ``tune`` and ``experiments`` accept evaluation-engine options:
 ``-j/--jobs N`` fans candidate batches out over N worker processes
@@ -18,7 +20,8 @@ Commands:
 enables the content-addressed on-disk result cache (default directory
 ``results/cache``), so re-runs skip every previously simulated
 candidate; ``--stats`` prints the measured cache-hit/simulation
-accounting after a tune.
+accounting after a tune; ``--trace PATH`` records the whole search as a
+JSONL span trace for the ``trace`` toolchain.
 """
 
 from __future__ import annotations
@@ -53,6 +56,11 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--cache", nargs="?", const=_DEFAULT_CACHE_DIR, default=None, metavar="DIR",
         help=f"persist evaluation results on disk (default dir: {_DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="record the search as a JSONL span trace at PATH "
+             "(analyze with `repro trace ...`)",
     )
 
 
@@ -90,6 +98,13 @@ def _parser() -> argparse.ArgumentParser:
     experiments.add_argument("names", nargs="*", choices=[[], *_EXPERIMENTS][1:] or None,
                              default=list(_EXPERIMENTS))
     _add_engine_options(experiments)
+
+    trace = sub.add_parser("trace", help="analyze a recorded search trace")
+    trace.add_argument("action", choices=("summary", "timeline", "convergence", "chrome"))
+    trace.add_argument("trace", metavar="TRACE.jsonl")
+    trace.add_argument("-o", "--output", metavar="FILE", default=None,
+                       help="write the rendering to FILE instead of stdout "
+                            "(chrome: default TRACE.chrome.json)")
     return parser
 
 
@@ -118,10 +133,17 @@ def _problem(kernel, size: int) -> dict:
 def _cmd_tune(args) -> None:
     machine = get_machine(args.machine)
     kernel = get_kernel(args.kernel)
+    tracer = None
+    if args.trace:
+        from repro.obs import Tracer
+
+        tracer = Tracer(command="tune", kernel=args.kernel,
+                        machine=args.machine, size=args.size, jobs=args.jobs)
     engine = EvalEngine(
         machine,
         jobs=args.jobs,
         cache=ResultCache(args.cache) if args.cache else None,
+        tracer=tracer,
     )
     tuned = EcoOptimizer(kernel, machine, engine=engine).optimize(
         _problem(kernel, args.size)
@@ -137,10 +159,15 @@ def _cmd_tune(args) -> None:
         print(f"\nat N={args.size}: {counters.mflops:.1f} MFLOPS "
               f"({100 * counters.mflops / machine.peak_mflops:.1f}% of peak)")
     if args.stats:
-        from repro.experiments.report import format_eval_stats
+        from repro.experiments.report import format_eval_stats, format_eval_stats_json
 
         print("\nevaluation engine:")
         print(format_eval_stats(tuned.result.stats))
+        print("stats json: " + format_eval_stats_json(tuned.result.stats))
+    if tracer is not None:
+        tracer.snapshot_metrics(engine.metrics)
+        tracer.dump(args.trace)
+        print(f"wrote trace {args.trace} ({len(tracer.events())} events)")
     engine.close()
     if args.emit:
         source = emit_c(tuned.build(), with_main=True, main_params=_problem(kernel, args.size))
@@ -157,10 +184,47 @@ def _cmd_run(args) -> None:
         print(f"{key:12} {value}")
 
 
-def _cmd_experiments(names: List[str], jobs: int = 1, cache_dir: Optional[str] = None) -> None:
+def _cmd_trace(args) -> None:
+    import json
+
+    from repro.obs import (
+        load_trace,
+        render_convergence,
+        render_summary,
+        render_timeline,
+        to_chrome_trace,
+    )
+
+    events = load_trace(args.trace)
+    if args.action == "chrome":
+        output = args.output or f"{args.trace.removesuffix('.jsonl')}.chrome.json"
+        with open(output, "w") as handle:
+            json.dump(to_chrome_trace(events), handle, indent=1)
+        print(f"wrote {output} (open in chrome://tracing or ui.perfetto.dev)")
+        return
+    render = {
+        "summary": render_summary,
+        "timeline": render_timeline,
+        "convergence": render_convergence,
+    }[args.action]
+    text = render(events)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+
+
+def _cmd_experiments(
+    names: List[str],
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    trace: Optional[str] = None,
+) -> None:
     from repro.experiments import fig4, fig5, runner, searchcost, table1, table4
 
-    runner.configure(jobs=jobs, cache_dir=cache_dir)
+    runner.configure(jobs=jobs, cache_dir=cache_dir, trace=trace)
     for name in names:
         if name == "table1":
             table1.main([])
@@ -183,20 +247,32 @@ def _cmd_experiments(names: List[str], jobs: int = 1, cache_dir: Optional[str] =
 
             generality.main(["sgi"])
         print()
+    written = runner.flush_trace()
+    if written:
+        print(f"wrote trace {written}")
 
 
 def main(argv: Optional[List[str]] = None) -> None:
     args = _parser().parse_args(argv)
-    if args.command == "machines":
-        _cmd_machines()
-    elif args.command == "variants":
-        _cmd_variants(args)
-    elif args.command == "tune":
-        _cmd_tune(args)
-    elif args.command == "run":
-        _cmd_run(args)
-    elif args.command == "experiments":
-        _cmd_experiments(args.names, jobs=args.jobs, cache_dir=args.cache)
+    try:
+        if args.command == "machines":
+            _cmd_machines()
+        elif args.command == "variants":
+            _cmd_variants(args)
+        elif args.command == "tune":
+            _cmd_tune(args)
+        elif args.command == "run":
+            _cmd_run(args)
+        elif args.command == "experiments":
+            _cmd_experiments(args.names, jobs=args.jobs, cache_dir=args.cache,
+                             trace=args.trace)
+        elif args.command == "trace":
+            _cmd_trace(args)
+    except BrokenPipeError:
+        # stdout was closed mid-print (e.g. piped into `head`): exit quietly
+        import os
+
+        os._exit(0)
 
 
 if __name__ == "__main__":

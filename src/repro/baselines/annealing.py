@@ -57,6 +57,26 @@ class AnnealingSearch:
     engine: Optional[EvalEngine] = None
 
     def run(self, problem: Mapping[str, int], budget: int) -> AnnealingResult:
+        if self.engine is None:
+            self.engine = EvalEngine(self.machine)
+        with self.engine.tracer.span(
+            "annealing",
+            kernel=self.kernel.name,
+            machine=self.machine.name,
+            budget=budget,
+            seed=self.seed,
+            cooling=self.cooling,
+        ) as span:
+            result = self._run(problem, budget)
+            span.set(
+                cycles=result.cycles if result.found_any else None,
+                accepted=result.accepted,
+            )
+        self.engine.metrics.counter("baseline.annealing.points").inc(result.points)
+        self.engine.metrics.counter("baseline.annealing.accepted").inc(result.accepted)
+        return result
+
+    def _run(self, problem: Mapping[str, int], budget: int) -> AnnealingResult:
         rng = random.Random(self.seed)
         variants = derive_variants(self.kernel, self.machine, max_variants=20)
         state = self._initial_state(rng, variants)

@@ -92,9 +92,18 @@ class ModelDriven:
     def measure(self, problem: Mapping[str, int]) -> Counters:
         variant, values, prefetch = self.plan(problem)
         if self.engine is not None:
-            outcome = self.engine.evaluate(
-                self.kernel, variant, values, dict(problem), prefetch
-            )
+            with self.engine.tracer.span(
+                "model-driven",
+                kernel=self.kernel.name,
+                machine=self.machine.name,
+                variant=variant.name,
+                values=dict(values),
+            ) as span:
+                outcome = self.engine.evaluate(
+                    self.kernel, variant, values, dict(problem), prefetch
+                )
+                span.set(cycles=outcome.cycles if outcome.feasible else None)
+            self.engine.metrics.counter("baseline.modeldriven.plans").inc()
             if outcome.counters is None:
                 raise TransformError("model-driven: chosen variant failed to build")
             return outcome.counters

@@ -68,8 +68,27 @@ class RandomSearch:
     engine: Optional[EvalEngine] = None
 
     def run(self, problem: Mapping[str, int], budget: int) -> RandomSearchResult:
-        rng = random.Random(self.seed)
         engine = self.engine if self.engine is not None else EvalEngine(self.machine)
+        with engine.tracer.span(
+            "random-search",
+            kernel=self.kernel.name,
+            machine=self.machine.name,
+            budget=budget,
+            seed=self.seed,
+        ) as span:
+            result = self._run(engine, problem, budget)
+            span.set(
+                cycles=result.cycles if result.found_any else None,
+                wasted=result.wasted,
+            )
+        engine.metrics.counter("baseline.random.samples").inc(result.points)
+        engine.metrics.counter("baseline.random.wasted").inc(result.wasted)
+        return result
+
+    def _run(
+        self, engine: EvalEngine, problem: Mapping[str, int], budget: int
+    ) -> RandomSearchResult:
+        rng = random.Random(self.seed)
         variants = derive_variants(self.kernel, self.machine, max_variants=20)
         samples: List[Tuple[Variant, Dict[str, int], Dict[PrefetchSite, int]]] = []
         wasted = 0

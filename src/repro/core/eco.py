@@ -109,5 +109,16 @@ class EcoOptimizer:
         search = GuidedSearch(
             self.kernel, self.machine, problem, self.config, engine=self.engine
         )
-        result = search.run(self.variants)
+        engine = search.engine
+        with engine.tracer.span(
+            "optimizer",
+            kernel=self.kernel.name,
+            machine=self.machine.name,
+            problem=dict(sorted(problem.items())),
+            variants=len(self.variants),
+        ) as span:
+            result = search.run(self.variants)
+            span.set(variant=result.variant.name, cycles=result.cycles,
+                     points=result.points)
+        engine.metrics.counter("eco.optimizations").inc()
         return TunedKernel(kernel=self.kernel, machine=self.machine, result=result)

@@ -219,6 +219,30 @@ class GuidedSearch:
     # -- public entry -------------------------------------------------------
     def run(self, variants: Sequence[Variant]) -> SearchResult:
         """Screen all variants, fully search the best few, pick the winner."""
+        with self.engine.tracer.span(
+            "search",
+            kernel=self.kernel.name,
+            machine=self.machine.name,
+            problem=dict(sorted(self.problem.items())),
+            variants=len(variants),
+        ) as span:
+            result = self._run(variants)
+            span.set(
+                variant=result.variant.name,
+                values=dict(result.values),
+                prefetch=_prefetch_attrs(result.prefetch),
+                pads=dict(result.pads),
+                cycles=result.cycles,
+                points=result.points,
+            )
+        metrics = self.engine.metrics
+        metrics.counter("search.runs").inc()
+        metrics.counter("search.points").inc(result.points)
+        metrics.gauge("search.best_cycles").set(result.cycles)
+        metrics.histogram("search.machine_seconds").observe(result.machine_seconds)
+        return result
+
+    def _run(self, variants: Sequence[Variant]) -> SearchResult:
         start = time.perf_counter()
         stats_before = self.engine.stats.as_dict()
         with self.engine.stage("screen"):
@@ -234,15 +258,30 @@ class GuidedSearch:
 
         best: Optional[Tuple[float, Variant, Dict[str, int], Dict[PrefetchSite, int], Dict[str, int]]]
         best = None
-        for _, variant, seed in feasible[: self.config.full_search_variants]:
-            with self.engine.stage("tiling"):
-                values = self.search_tiling(variant, seed)
-            with self.engine.stage("prefetch"):
-                values, prefetch = self.search_prefetch(variant, values)
-                values = self.adjust_after_prefetch(variant, values, prefetch)
-            with self.engine.stage("padding"):
-                pads = self.search_padding(variant, values, prefetch)
-            cycles = self.measure(variant, values, prefetch, pads)
+        for seed_cycles, variant, seed in feasible[: self.config.full_search_variants]:
+            with self.engine.tracer.span(
+                "variant",
+                variant=variant.name,
+                seed=dict(seed),
+                # the model's side of the ledger: its seed point's measured
+                # cycles and whether it predicts the tiles fit their levels
+                seed_cycles=seed_cycles,
+                predicted_fit=variant.predicted_fit({**seed, **self.problem}),
+            ) as vspan:
+                with self.engine.stage("tiling"):
+                    values = self.search_tiling(variant, seed)
+                with self.engine.stage("prefetch"):
+                    values, prefetch = self.search_prefetch(variant, values)
+                    values = self.adjust_after_prefetch(variant, values, prefetch)
+                with self.engine.stage("padding"):
+                    pads = self.search_padding(variant, values, prefetch)
+                cycles = self.measure(variant, values, prefetch, pads)
+                vspan.set(
+                    values=dict(values),
+                    prefetch=_prefetch_attrs(prefetch),
+                    pads=dict(pads),
+                    cycles=cycles if math.isfinite(cycles) else None,
+                )
             if best is None or cycles < best[0]:
                 best = (cycles, variant, values, prefetch, pads)
         assert best is not None
@@ -520,3 +559,8 @@ def _floor_pow2(value: int) -> int:
     if value < 1:
         return 1
     return 1 << (value.bit_length() - 1)
+
+
+def _prefetch_attrs(prefetch: Mapping[PrefetchSite, int]) -> Dict[str, int]:
+    """JSON-friendly rendering of a prefetch plan (``{"A@K": 2}``)."""
+    return {f"{site.array}@{site.loop}": d for site, d in prefetch.items()}

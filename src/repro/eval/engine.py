@@ -26,6 +26,7 @@ decides *whether* and *where* to run it.
 from __future__ import annotations
 
 import math
+import sys
 import time
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
@@ -37,6 +38,7 @@ from repro.eval.cache import CachedResult, ResultCache
 from repro.eval.keys import candidate_key
 from repro.ir.nest import Kernel
 from repro.machines import MachineSpec
+from repro.obs import NULL_TRACER, MetricsRegistry
 from repro.sim import execute
 from repro.sim.counters import Counters
 from repro.transforms import TransformError
@@ -149,16 +151,30 @@ class EvalStats:
 
 
 def stats_delta(before: Dict[str, object], after: Dict[str, object]) -> Dict[str, object]:
-    """Per-search view of a (possibly shared) engine's cumulative stats."""
+    """Per-search view of a (possibly shared) engine's cumulative stats.
+
+    Robust to snapshots with differing shapes: top-level counters, stage
+    names and per-stage keys are each diffed over the *union* of both
+    snapshots (``after``'s order first, then anything only in ``before``),
+    so keys or stages that appear on only one side — e.g. a stage first
+    entered between the two snapshots, or a counter added to
+    :class:`EvalStats` after the ``before`` snapshot was stored — are
+    deltaed against zero instead of being dropped or raising.
+    """
     out: Dict[str, object] = {}
-    for key in ("memory_hits", "disk_hits", "cache_hits", "simulations", "failures", "batches"):
-        out[key] = int(after[key]) - int(before.get(key, 0))
-    out["wall_seconds"] = float(after["wall_seconds"]) - float(before.get("wall_seconds", 0.0))
+    numeric = [k for k in after if k != "stages"]
+    numeric += [k for k in before if k != "stages" and k not in after]
+    for key in numeric:
+        out[key] = after.get(key, 0) - before.get(key, 0)
     stages: Dict[str, Dict[str, float]] = {}
     before_stages = before.get("stages", {})
-    for name, stage in after.get("stages", {}).items():
+    after_stages = after.get("stages", {})
+    names = list(after_stages) + [n for n in before_stages if n not in after_stages]
+    for name in names:
+        stage = after_stages.get(name, {})
         prior = before_stages.get(name, {})
-        delta = {k: stage[k] - prior.get(k, 0) for k in stage}
+        keys = list(stage) + [k for k in prior if k not in stage]
+        delta = {k: stage.get(k, 0) - prior.get(k, 0) for k in keys}
         if any(delta.values()):
             stages[name] = delta
     out["stages"] = stages
@@ -194,6 +210,8 @@ class EvalEngine:
         jobs: int = 1,
         cache: Optional[ResultCache] = None,
         cache_dir: Optional[str] = None,
+        tracer=None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -201,6 +219,12 @@ class EvalEngine:
         self.jobs = jobs
         self.cache = cache if cache is not None else ResultCache(cache_dir)
         self.stats = EvalStats()
+        #: span tracer shared by the searches running on this engine; the
+        #: no-op default makes instrumentation free when tracing is off
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: metrics registry (always on — plain arithmetic, nothing to
+        #: disable); searches and the runner report into the same one
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._pool: Optional[ProcessPoolExecutor] = None
         self._stage: Optional[StageStats] = None
 
@@ -269,19 +293,91 @@ class EvalEngine:
 
         self.stats.wall_seconds += time.perf_counter() - start
         assert all(o is not None for o in outcomes)
+        self._record_batch(requests, outcomes)
         return outcomes  # type: ignore[return-value]
+
+    def _record_batch(
+        self,
+        requests: Sequence[EvalRequest],
+        outcomes: Sequence[Optional[EvalOutcome]],
+    ) -> None:
+        """Metrics + trace events for one batch, in input order.
+
+        Emission happens in the main process after all results are
+        gathered, so the event stream is identical at any job count.
+        """
+        metrics = self.metrics
+        metrics.counter("eval.batches").inc()
+        metrics.histogram("eval.batch_size").observe(len(requests))
+        for outcome in outcomes:
+            if outcome.source == "sim":
+                metrics.counter("eval.simulations").inc()
+                if outcome.counters is not None:
+                    metrics.histogram("eval.candidate_machine_seconds").observe(
+                        outcome.counters.seconds
+                    )
+                    metrics.histogram("eval.candidate_cycles").observe(
+                        outcome.cycles
+                    )
+                else:
+                    metrics.counter("eval.failures").inc()
+            else:
+                metrics.counter(f"eval.cache_hits.{outcome.source}").inc()
+        if self.stats.evaluations:
+            metrics.gauge("eval.hit_ratio").set(
+                round(self.stats.cache_hits / self.stats.evaluations, 6)
+            )
+        if not self.tracer.enabled:
+            return
+        for req, outcome in zip(requests, outcomes):
+            counters = outcome.counters
+            attrs = {
+                "variant": req.variant.name,
+                "values": dict(req.values),
+                "prefetch": {f"{s.array}@{s.loop}": d for s, d in req.prefetch},
+                "pads": dict(req.pads),
+                "problem": dict(req.problem),
+                "source": outcome.source,
+                # null cycles marks an infeasible candidate (inf is not JSON)
+                "cycles": outcome.cycles if outcome.feasible else None,
+            }
+            if counters is not None:
+                attrs["machine_seconds"] = counters.seconds
+                attrs["counters"] = {
+                    "loads": counters.loads,
+                    "l1_misses": counters.l1_misses,
+                    "l2_misses": counters.l2_misses,
+                    "tlb_misses": counters.tlb_misses,
+                }
+            self.tracer.event("eval", **attrs)
 
     @contextmanager
     def stage(self, name: str) -> Iterator[StageStats]:
-        """Attribute wall time / simulations / hits to a named stage."""
+        """Attribute wall time / simulations / hits to a named stage.
+
+        With tracing on, the stage also becomes a span whose ``span_end``
+        carries this entry's simulation/hit deltas (deterministic; the
+        host wall time lives in the span's ``dur``)."""
         stats = self.stats.stages.setdefault(name, StageStats())
         previous, self._stage = self._stage, stats
+        sims_before, hits_before = stats.simulations, stats.cache_hits
+        span_cm = span = None
+        if self.tracer.enabled:
+            span_cm = self.tracer.span("stage", stage=name)
+            span = span_cm.__enter__()
         start = time.perf_counter()
         try:
             yield stats
         finally:
             stats.wall_seconds += time.perf_counter() - start
             self._stage = previous
+            sims = stats.simulations - sims_before
+            hits = stats.cache_hits - hits_before
+            if sims:
+                self.metrics.counter(f"stage.{name}.simulations").inc(sims)
+            if span_cm is not None:
+                span.set(simulations=sims, cache_hits=hits)
+                span_cm.__exit__(*sys.exc_info())
 
     def close(self) -> None:
         if self._pool is not None:

@@ -8,9 +8,17 @@ from __future__ import annotations
 
 import csv
 import io
+import json
 from typing import Dict, List, Mapping, Optional, Sequence
 
-__all__ = ["format_table", "format_series", "format_eval_stats", "write_csv", "header"]
+__all__ = [
+    "format_table",
+    "format_series",
+    "format_eval_stats",
+    "format_eval_stats_json",
+    "write_csv",
+    "header",
+]
 
 
 def header(title: str, machine_desc: str = "") -> str:
@@ -101,6 +109,24 @@ def format_eval_stats(stats: Mapping[str, object]) -> str:
             )
         parts.append("stages: " + ", ".join(stage_bits))
     return "\n".join(parts)
+
+
+def format_eval_stats_json(stats: Mapping[str, object]) -> str:
+    """``SearchResult.stats`` as one reproducible JSON line.
+
+    Stages appear in first-seen order (the order the search entered
+    them), every dict keeps its canonical construction order, and the
+    host-wall-time fields are dropped — so two runs of the same search
+    (at any ``-j N``, against the same cache state) emit byte-identical
+    dumps that diff cleanly.
+    """
+
+    def strip(value):
+        if isinstance(value, Mapping):
+            return {k: strip(v) for k, v in value.items() if k != "wall_seconds"}
+        return value
+
+    return json.dumps(strip(stats))
 
 
 def write_csv(path: str, rows: Sequence[Mapping[str, object]]) -> None:

@@ -25,11 +25,15 @@ from repro.core import EcoOptimizer, SearchConfig, TunedKernel
 from repro.eval import EvalEngine, ResultCache
 from repro.kernels import get_kernel
 from repro.machines import get_machine
+from repro.obs import NULL_TRACER, MetricsRegistry, Tracer
 
 __all__ = [
     "configure",
     "engine_for",
     "engine_stats",
+    "metrics",
+    "tracer",
+    "flush_trace",
     "tuned_eco",
     "tuned_atlas",
     "clear_cache",
@@ -40,19 +44,52 @@ _ATLAS_CACHE: Dict[Tuple[str, int], MiniAtlas] = {}
 _ENGINES: Dict[str, EvalEngine] = {}
 _JOBS: int = 1
 _CACHE_DIR: Optional[str] = None
+_TRACE_PATH: Optional[str] = None
+_TRACER = NULL_TRACER
+_METRICS = MetricsRegistry()
 
 
-def configure(jobs: int = 1, cache_dir: Optional[str] = None) -> None:
-    """Set evaluation parallelism and the on-disk result-cache directory.
+def configure(
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    trace: Optional[str] = None,
+) -> None:
+    """Set evaluation parallelism, the on-disk result-cache directory and
+    (optionally) a trace output path.
 
     Applies to engines created afterwards; existing engines (and the
     tuned-kernel caches that used them) are dropped so the settings take
-    effect uniformly.
+    effect uniformly.  With ``trace`` set, every engine shares one
+    :class:`~repro.obs.Tracer`; call :func:`flush_trace` when the
+    experiments are done to write the JSONL file.
     """
-    global _JOBS, _CACHE_DIR
+    global _JOBS, _CACHE_DIR, _TRACE_PATH, _TRACER, _METRICS
     _JOBS = max(1, int(jobs))
     _CACHE_DIR = cache_dir
+    _TRACE_PATH = trace
+    _TRACER = Tracer(source="experiments", jobs=_JOBS) if trace else NULL_TRACER
+    _METRICS = MetricsRegistry()
     clear_cache()
+
+
+def tracer():
+    """The process-wide tracer experiments report into."""
+    return _TRACER
+
+
+def metrics() -> MetricsRegistry:
+    """The process-wide metrics registry experiments report into."""
+    return _METRICS
+
+
+def flush_trace() -> Optional[str]:
+    """Write the shared trace (with a final metrics snapshot) to the
+    configured path; returns the path, or None when tracing is off."""
+    if _TRACE_PATH is None or not _TRACER.enabled:
+        return None
+    _TRACER.snapshot_metrics(_METRICS)
+    _TRACER.dump(_TRACE_PATH)
+    return _TRACE_PATH
 
 
 def engine_for(machine_name: str) -> EvalEngine:
@@ -61,9 +98,14 @@ def engine_for(machine_name: str) -> EvalEngine:
     engine = _ENGINES.get(machine.name)
     if engine is None:
         engine = EvalEngine(
-            machine, jobs=_JOBS, cache=ResultCache(_CACHE_DIR) if _CACHE_DIR else None
+            machine,
+            jobs=_JOBS,
+            cache=ResultCache(_CACHE_DIR) if _CACHE_DIR else None,
+            tracer=_TRACER,
+            metrics=_METRICS,
         )
         _ENGINES[machine.name] = engine
+        _METRICS.gauge("runner.engines").set(len(_ENGINES))
     return engine
 
 

@@ -1,0 +1,56 @@
+"""repro.obs — observability for the empirical search.
+
+Three pieces (see ``docs/observability.md``):
+
+* :mod:`repro.obs.tracer` — span-based tracing (optimizer → search →
+  variant → stage → candidate evaluation) emitted as deterministic JSONL;
+  :data:`~repro.obs.tracer.NULL_TRACER` is the zero-cost default;
+* :mod:`repro.obs.metrics` — counters / gauges / histograms every search
+  component reports into;
+* :mod:`repro.obs.reader` / :mod:`repro.obs.report` — the trace
+  toolchain behind ``repro trace summary|timeline|convergence|chrome``.
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.reader import (
+    canonical,
+    convergence,
+    eval_events,
+    load_trace,
+    span_nodes,
+    stage_totals,
+    trace_meta,
+)
+from repro.obs.report import (
+    render_convergence,
+    render_summary,
+    render_timeline,
+    to_chrome_trace,
+)
+from repro.obs.schema import SCHEMA_VERSION, TIMING_FIELDS, validate_event
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "Tracer",
+    "SCHEMA_VERSION",
+    "TIMING_FIELDS",
+    "validate_event",
+    "load_trace",
+    "canonical",
+    "eval_events",
+    "convergence",
+    "stage_totals",
+    "span_nodes",
+    "trace_meta",
+    "render_summary",
+    "render_timeline",
+    "render_convergence",
+    "to_chrome_trace",
+]

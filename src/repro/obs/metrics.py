@@ -1,0 +1,131 @@
+"""Lightweight metrics registry: counters, gauges, histograms.
+
+The registry is always on (its updates are integer/float arithmetic, so
+there is nothing to disable), shared by everything that reports into it —
+the evaluation engine, the guided search, the baselines, the experiment
+runner — and snapshotted into a trace as ``metric`` events by
+:meth:`repro.obs.tracer.Tracer.snapshot_metrics`.
+
+Determinism: nothing here observes the host clock.  Time-like metrics
+(e.g. the candidate-latency distribution) are fed *simulated* machine
+seconds, which are a pure function of the candidate — so metric events
+participate in the trace's determinism contract.  Host wall time belongs
+to span timings, not metrics.
+
+Histograms keep summary stats plus power-of-two magnitude buckets
+(``le_2^k`` holds observations in ``(2^(k-1), 2^k]``), enough to render a
+latency distribution without storing every observation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self, help: str = "") -> None:
+        self.help = help
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up (got {amount})")
+        self.value += amount
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Gauge:
+    """Last-written value."""
+
+    kind = "gauge"
+
+    def __init__(self, help: str = "") -> None:
+        self.help = help
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Histogram:
+    """Summary stats + log2 magnitude buckets over observed values."""
+
+    kind = "histogram"
+
+    def __init__(self, help: str = "") -> None:
+        self.help = help
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._buckets: Dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        if not math.isfinite(value):
+            return
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        exponent = math.ceil(math.log2(value)) if value > 0 else 0
+        self._buckets[exponent] = self._buckets.get(exponent, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "buckets": {f"le_2^{k}": v for k, v in sorted(self._buckets.items())},
+        }
+
+
+class MetricsRegistry:
+    """Named metrics, get-or-create, first-registered order preserved."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Any] = {}
+
+    def _get(self, name: str, factory, help: str):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory(help)
+            self._metrics[name] = metric
+        elif not isinstance(metric, factory):
+            raise TypeError(
+                f"metric {name!r} already registered as {metric.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(name, Counter, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(name, Gauge, help)
+
+    def histogram(self, name: str, help: str = "") -> Histogram:
+        return self._get(name, Histogram, help)
+
+    def names(self) -> List[str]:
+        return list(self._metrics)
+
+    def as_dict(self) -> Dict[str, Dict[str, Any]]:
+        """Snapshot of every metric, in first-registered order."""
+        return {name: metric.as_dict() for name, metric in self._metrics.items()}

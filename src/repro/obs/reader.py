@@ -1,0 +1,172 @@
+"""Trace loading and analysis: the read side of ``repro.obs``.
+
+Turns a ``trace.jsonl`` back into structure: the span tree, per-stage
+aggregates, the candidate-evaluation stream and the best-so-far
+convergence curve the CLI renders (``repro trace summary|timeline|
+convergence``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.schema import TIMING_FIELDS, validate_event
+
+__all__ = [
+    "load_trace",
+    "canonical",
+    "eval_events",
+    "convergence",
+    "stage_totals",
+    "span_nodes",
+    "trace_meta",
+    "SpanNode",
+]
+
+
+def load_trace(path, validate: bool = False) -> List[Dict[str, Any]]:
+    """Read a JSONL trace; optionally validate every event's schema."""
+    events: List[Dict[str, Any]] = []
+    with open(path) as handle:
+        for line_no, line in enumerate(handle):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{line_no + 1}: not JSON: {exc}") from exc
+            if validate:
+                validate_event(event, seq=len(events))
+            events.append(event)
+    return events
+
+
+def canonical(events: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Events with the non-deterministic timing fields removed.
+
+    Two traces of the same search (any ``-j N``) are equal under this
+    projection — the determinism contract of :mod:`repro.obs.tracer`.
+    """
+    return [
+        {k: v for k, v in event.items() if k not in TIMING_FIELDS}
+        for event in events
+    ]
+
+
+def trace_meta(events: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Attributes of the leading ``meta`` event (empty if absent)."""
+    for event in events:
+        if event.get("type") == "meta":
+            return dict(event.get("attrs", {}))
+    return {}
+
+
+def eval_events(events: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """The candidate-evaluation stream, in emission (= input) order."""
+    return [
+        e for e in events if e.get("type") == "event" and e.get("name") == "eval"
+    ]
+
+
+def convergence(events: List[Dict[str, Any]]) -> List[Tuple[int, float, Dict[str, Any]]]:
+    """Best-so-far curve: ``(evaluation index, cycles, attrs)`` at every
+    strict improvement over the feasible candidate stream."""
+    curve: List[Tuple[int, float, Dict[str, Any]]] = []
+    best = math.inf
+    for index, event in enumerate(eval_events(events)):
+        attrs = event.get("attrs", {})
+        cycles = attrs.get("cycles")
+        if cycles is None:
+            continue
+        if cycles < best:
+            best = cycles
+            curve.append((index, cycles, attrs))
+    return curve
+
+
+def stage_totals(events: List[Dict[str, Any]]) -> Dict[str, Dict[str, float]]:
+    """Aggregate per search stage, in first-seen order.
+
+    Sums the ``span_end`` deltas of every ``stage`` span sharing a stage
+    name: wall seconds (host), simulations, cache hits, plus the simulated
+    machine seconds of the stage's fresh simulations.
+    """
+    totals: Dict[str, Dict[str, float]] = {}
+    # machine seconds come from the eval events inside each stage span
+    machine_by_span: Dict[Optional[str], float] = {}
+    span_stage: Dict[str, str] = {}
+    for event in events:
+        etype = event.get("type")
+        attrs = event.get("attrs", {})
+        if etype == "span_begin" and event.get("name") == "stage":
+            span_stage[event["span"]] = attrs.get("stage", event["span"])
+        elif etype == "event" and event.get("name") == "eval":
+            if attrs.get("source") == "sim" and attrs.get("machine_seconds"):
+                span = event.get("span")
+                machine_by_span[span] = (
+                    machine_by_span.get(span, 0.0) + attrs["machine_seconds"]
+                )
+        elif etype == "span_end" and event.get("name") == "stage":
+            name = span_stage.get(event.get("span"), event.get("span"))
+            row = totals.setdefault(
+                name,
+                {"spans": 0, "wall_seconds": 0.0, "simulations": 0,
+                 "cache_hits": 0, "machine_seconds": 0.0},
+            )
+            row["spans"] += 1
+            row["wall_seconds"] += event.get("dur", 0.0)
+            row["simulations"] += attrs.get("simulations", 0)
+            row["cache_hits"] += attrs.get("cache_hits", 0)
+            row["machine_seconds"] += machine_by_span.get(event.get("span"), 0.0)
+    return totals
+
+
+@dataclass
+class SpanNode:
+    """One reconstructed span, with its children in emission order."""
+
+    id: str
+    name: str
+    begin: Dict[str, Any]
+    end: Optional[Dict[str, Any]] = None
+    children: List["SpanNode"] = field(default_factory=list)
+
+    @property
+    def attrs(self) -> Dict[str, Any]:
+        merged = dict(self.begin.get("attrs", {}))
+        if self.end:
+            merged.update(self.end.get("attrs", {}))
+        return merged
+
+    @property
+    def start_ts(self) -> float:
+        return self.begin.get("ts", 0.0)
+
+    @property
+    def dur(self) -> float:
+        return self.end.get("dur", 0.0) if self.end else 0.0
+
+
+def span_nodes(events: List[Dict[str, Any]]) -> List[SpanNode]:
+    """Rebuild the span tree; returns the top-level spans."""
+    nodes: Dict[str, SpanNode] = {}
+    roots: List[SpanNode] = []
+    for event in events:
+        etype = event.get("type")
+        if etype == "span_begin":
+            node = SpanNode(event["span"], event["name"], event)
+            nodes[node.id] = node
+            parent = nodes.get(event.get("parent"))
+            if parent is not None:
+                parent.children.append(node)
+            else:
+                roots.append(node)
+        elif etype == "span_end":
+            node = nodes.get(event.get("span"))
+            if node is not None:
+                node.end = event
+    return roots

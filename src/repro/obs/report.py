@@ -1,0 +1,174 @@
+"""Trace renderers behind ``repro trace summary|timeline|convergence``
+plus the Chrome-trace (``chrome://tracing`` / Perfetto) export."""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List
+
+from repro.obs.reader import (
+    SpanNode,
+    convergence,
+    eval_events,
+    span_nodes,
+    stage_totals,
+    trace_meta,
+)
+
+__all__ = [
+    "render_summary",
+    "render_timeline",
+    "render_convergence",
+    "to_chrome_trace",
+]
+
+
+def _meta_line(events: List[Dict[str, Any]]) -> str:
+    meta = trace_meta(events)
+    interesting = {k: v for k, v in meta.items() if k != "schema"}
+    if not interesting:
+        return "trace"
+    return "trace: " + ", ".join(f"{k}={v}" for k, v in interesting.items())
+
+
+def render_summary(events: List[Dict[str, Any]]) -> str:
+    """Per-stage wall/sim-time breakdown plus evaluation totals."""
+    evals = eval_events(events)
+    sims = [e for e in evals if e["attrs"].get("source") == "sim"]
+    hits = [e for e in evals if e["attrs"].get("source") in ("memory", "disk")]
+    feasible = [e for e in evals if e["attrs"].get("cycles") is not None]
+    machine_s = sum(e["attrs"].get("machine_seconds", 0.0) for e in sims)
+    lines = [
+        _meta_line(events),
+        f"evaluations: {len(evals)} ({len(sims)} simulated, {len(hits)} cached, "
+        f"{len(evals) - len(feasible)} infeasible)",
+        f"simulated machine time: {machine_s * 1e3:.3f} ms",
+    ]
+    curve = convergence(events)
+    if curve:
+        index, cycles, attrs = curve[-1]
+        lines.append(
+            f"best: {cycles:,.1f} cycles at evaluation {index} "
+            f"({attrs.get('variant', '?')} {attrs.get('values', {})})"
+        )
+    totals = stage_totals(events)
+    if totals:
+        lines.append("")
+        lines.append(f"{'stage':>10}  {'spans':>5}  {'sims':>6}  {'hits':>6}  "
+                     f"{'wall s':>8}  {'machine ms':>10}")
+        for name, row in totals.items():
+            lines.append(
+                f"{name:>10}  {row['spans']:5d}  {int(row['simulations']):6d}  "
+                f"{int(row['cache_hits']):6d}  {row['wall_seconds']:8.3f}  "
+                f"{row['machine_seconds'] * 1e3:10.3f}"
+            )
+    return "\n".join(lines)
+
+
+def _timeline_rows(node: SpanNode, depth: int, rows: List) -> None:
+    rows.append((depth, node))
+    for child in node.children:
+        _timeline_rows(child, depth + 1, rows)
+
+
+def render_timeline(events: List[Dict[str, Any]], width: int = 40) -> str:
+    """Indented span tree with proportional wall-time bars."""
+    roots = span_nodes(events)
+    rows: List = []
+    for root in roots:
+        _timeline_rows(root, 0, rows)
+    if not rows:
+        return "(no spans)"
+    end = max((n.start_ts + n.dur for _, n in rows), default=0.0) or 1.0
+    lines = [_meta_line(events)]
+    for depth, node in rows:
+        label = node.name
+        attrs = node.attrs
+        key = {"stage": "stage", "variant": "variant"}.get(node.name, "kernel")
+        if key in attrs:
+            label = f"{node.name}:{attrs[key]}"
+        offset = int(width * node.start_ts / end)
+        length = max(1, int(width * node.dur / end))
+        bar = " " * offset + "#" * min(length, width - offset)
+        lines.append(
+            f"{'  ' * depth}{label:<{max(2, 28 - 2 * depth)}} "
+            f"{node.dur * 1e3:9.2f} ms |{bar:<{width}}|"
+        )
+    return "\n".join(lines)
+
+
+def render_convergence(events: List[Dict[str, Any]], width: int = 50) -> str:
+    """Best-so-far curve over the candidate-evaluation stream."""
+    curve = convergence(events)
+    total = len(eval_events(events))
+    if not curve:
+        return "(no feasible evaluations)"
+    worst = curve[0][1]
+    best = curve[-1][1]
+    span = worst - best or 1.0
+    lines = [
+        _meta_line(events),
+        f"{len(curve)} improvements over {total} evaluations "
+        f"({worst:,.1f} -> {best:,.1f} cycles, "
+        f"{100 * (worst - best) / worst:.1f}% better)",
+        "",
+        f"{'eval':>6}  {'cycles':>14}  {'variant':<12} improvement",
+    ]
+    for index, cycles, attrs in curve:
+        bar = "#" * (1 + int((width - 1) * (worst - cycles) / span))
+        lines.append(
+            f"{index:6d}  {cycles:14,.1f}  {attrs.get('variant', '?'):<12} |{bar}"
+        )
+    return "\n".join(lines)
+
+
+def to_chrome_trace(events: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Chrome-trace JSON (load in ``chrome://tracing`` or Perfetto).
+
+    Spans become complete (``ph: "X"``) events; candidate evaluations and
+    metrics become instant (``ph: "i"``) events.  Timestamps are in
+    microseconds, as the format requires.
+    """
+    trace_events: List[Dict[str, Any]] = []
+    begin_ts: Dict[str, float] = {}
+    for event in events:
+        etype = event.get("type")
+        attrs = event.get("attrs", {})
+        if etype == "span_begin":
+            begin_ts[event["span"]] = event.get("ts", 0.0)
+        elif etype == "span_end":
+            start = begin_ts.get(event.get("span"), 0.0)
+            trace_events.append(
+                {
+                    "name": event["name"],
+                    "ph": "X",
+                    "ts": start * 1e6,
+                    "dur": event.get("dur", 0.0) * 1e6,
+                    "pid": 1,
+                    "tid": 1,
+                    "args": _json_safe(attrs),
+                }
+            )
+        elif etype in ("event", "metric"):
+            trace_events.append(
+                {
+                    "name": event["name"],
+                    "ph": "i",
+                    "s": "t",
+                    "ts": event.get("ts", 0.0) * 1e6,
+                    "pid": 1,
+                    "tid": 1,
+                    "args": _json_safe(attrs),
+                }
+            )
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def _json_safe(value: Any) -> Any:
+    if isinstance(value, float) and not math.isfinite(value):
+        return str(value)
+    if isinstance(value, dict):
+        return {k: _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return value

@@ -1,0 +1,97 @@
+"""The trace event schema (documented contract; validated in tests).
+
+A trace is JSONL: one JSON object per line.  Every event has:
+
+``seq``
+    int, the emission index — consecutive from 0; the total order of the
+    trace (timestamps are *not* the ordering key).
+``ts``
+    float, seconds since trace start on the host's monotonic clock.  One
+    of the two non-deterministic fields (with ``dur``).
+``type``
+    one of ``meta`` | ``span_begin`` | ``span_end`` | ``event`` |
+    ``metric``.
+``name``
+    the span/event/metric name (e.g. ``search``, ``stage``, ``eval``).
+
+Optional fields:
+
+``span``
+    the event's span id (``s<N>``): for ``span_begin``/``span_end`` the
+    span itself, for ``event``/``metric`` the innermost enclosing span.
+``parent``
+    for span events, the id of the enclosing span (absent at top level).
+``dur``
+    float seconds, ``span_end`` only — the span's duration (the second
+    non-deterministic field).
+``attrs``
+    a JSON object of structured attributes (never empty when present).
+
+The first event of every trace is ``{"type": "meta", "name": "trace"}``
+whose attrs carry ``schema`` (this module's :data:`SCHEMA_VERSION`) plus
+whatever run metadata the producer recorded (kernel, machine, CLI args).
+
+See ``docs/observability.md`` for the span hierarchy and the catalog of
+event names and attributes each instrumented component emits.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+__all__ = ["SCHEMA_VERSION", "EVENT_TYPES", "TIMING_FIELDS", "validate_event"]
+
+SCHEMA_VERSION = 1
+
+EVENT_TYPES = ("meta", "span_begin", "span_end", "event", "metric")
+
+#: the only fields allowed to differ between two runs of the same search
+TIMING_FIELDS = ("ts", "dur")
+
+_ALLOWED_FIELDS = {"seq", "ts", "type", "name", "span", "parent", "dur", "attrs"}
+_REQUIRED_FIELDS = ("seq", "ts", "type", "name")
+
+
+def validate_event(event: Dict[str, Any], seq: int = None) -> None:
+    """Raise ``ValueError`` when an event does not conform to the schema.
+
+    ``seq`` (when given) additionally checks the consecutive-emission
+    invariant.
+    """
+    if not isinstance(event, dict):
+        raise ValueError(f"event is not an object: {event!r}")
+    unknown = set(event) - _ALLOWED_FIELDS
+    if unknown:
+        raise ValueError(f"unknown fields {sorted(unknown)} in {event!r}")
+    for field in _REQUIRED_FIELDS:
+        if field not in event:
+            raise ValueError(f"missing required field {field!r} in {event!r}")
+    if not isinstance(event["seq"], int) or event["seq"] < 0:
+        raise ValueError(f"seq must be a non-negative int: {event!r}")
+    if seq is not None and event["seq"] != seq:
+        raise ValueError(f"seq {event['seq']} out of order (expected {seq})")
+    if not isinstance(event["ts"], (int, float)) or event["ts"] < 0:
+        raise ValueError(f"ts must be a non-negative number: {event!r}")
+    if event["type"] not in EVENT_TYPES:
+        raise ValueError(f"unknown event type {event['type']!r}")
+    if not isinstance(event["name"], str) or not event["name"]:
+        raise ValueError(f"name must be a non-empty string: {event!r}")
+    if "span" in event and not (
+        isinstance(event["span"], str) and event["span"].startswith("s")
+    ):
+        raise ValueError(f"span must be an 's<N>' id: {event!r}")
+    if "parent" in event:
+        if event["type"] not in ("span_begin", "span_end"):
+            raise ValueError(f"parent only allowed on span events: {event!r}")
+        if not (isinstance(event["parent"], str) and event["parent"].startswith("s")):
+            raise ValueError(f"parent must be an 's<N>' id: {event!r}")
+    if "dur" in event:
+        if event["type"] != "span_end":
+            raise ValueError(f"dur only allowed on span_end: {event!r}")
+        if not isinstance(event["dur"], (int, float)) or event["dur"] < 0:
+            raise ValueError(f"dur must be a non-negative number: {event!r}")
+    if event["type"] in ("span_begin", "span_end") and "span" not in event:
+        raise ValueError(f"span events need a span id: {event!r}")
+    if "attrs" in event:
+        if not isinstance(event["attrs"], dict) or not event["attrs"]:
+            raise ValueError(f"attrs must be a non-empty object: {event!r}")

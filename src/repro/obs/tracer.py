@@ -1,0 +1,176 @@
+"""Span-based tracing for the empirical search.
+
+A :class:`Tracer` records the search as a stream of structured events —
+nested **spans** (optimizer → search → variant → stage) and point
+**events** (one per candidate evaluation, per metric sample) — and writes
+them as deterministic JSONL (one event per line, sorted keys).
+
+Determinism contract
+--------------------
+Everything except the two timing fields (``ts``, ``dur``) is a pure
+function of the search inputs: span ids come from a counter, ``seq`` is
+the emission index, and every emitter only runs in the main process, in
+input order — so a trace taken at ``-j 4`` differs from ``-j 1`` only in
+its timestamps (see :func:`repro.obs.reader.canonical`).
+
+Zero cost when disabled
+-----------------------
+:data:`NULL_TRACER` (a :class:`NullTracer`) is the default everywhere.
+Its ``enabled`` flag is ``False`` and every method is a no-op returning a
+shared null span, so instrumented code guards event *construction* with
+``if tracer.enabled`` and pays nothing — search results are byte-identical
+with tracing off.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.obs.schema import SCHEMA_VERSION
+
+__all__ = ["NullTracer", "NULL_TRACER", "Span", "Tracer"]
+
+
+class Span:
+    """Handle yielded by :meth:`Tracer.span`; collects end-of-span attrs."""
+
+    __slots__ = ("id", "name", "end_attrs")
+
+    def __init__(self, span_id: str, name: str) -> None:
+        self.id = span_id
+        self.name = name
+        self.end_attrs: Dict[str, Any] = {}
+
+    def set(self, **attrs: Any) -> None:
+        """Attach attributes to the eventual ``span_end`` event."""
+        self.end_attrs.update(attrs)
+
+
+class _NullSpan:
+    __slots__ = ()
+    id = None
+    name = None
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """No-op tracer: the zero-cost default when ``--trace`` is off."""
+
+    enabled = False
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[_NullSpan]:
+        yield _NULL_SPAN
+
+    def event(self, name: str, **attrs: Any) -> None:
+        pass
+
+    def snapshot_metrics(self, registry) -> None:
+        pass
+
+    def events(self) -> List[Dict[str, Any]]:
+        return []
+
+    def dump(self, path) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Buffering span tracer; events are dumped as JSONL at the end.
+
+    ``meta`` attributes (kernel, machine, CLI arguments …) are emitted as
+    the first event of the trace, alongside the schema version.
+    """
+
+    enabled = True
+
+    def __init__(self, **meta: Any) -> None:
+        self._events: List[Dict[str, Any]] = []
+        self._stack: List[Span] = []
+        self._next_span = 0
+        self._clock = time.perf_counter
+        self._t0 = self._clock()
+        self._emit("meta", "trace", attrs={"schema": SCHEMA_VERSION, **meta})
+
+    # -- emission --------------------------------------------------------
+    def _emit(
+        self,
+        type_: str,
+        name: str,
+        span: Optional[str] = None,
+        parent: Optional[str] = None,
+        attrs: Optional[Dict[str, Any]] = None,
+        dur: Optional[float] = None,
+    ) -> None:
+        event: Dict[str, Any] = {
+            "seq": len(self._events),
+            "ts": round(self._clock() - self._t0, 9),
+            "type": type_,
+            "name": name,
+        }
+        if span is not None:
+            event["span"] = span
+        if parent is not None:
+            event["parent"] = parent
+        if dur is not None:
+            event["dur"] = round(dur, 9)
+        if attrs:
+            event["attrs"] = attrs
+        self._events.append(event)
+
+    @property
+    def _current(self) -> Optional[str]:
+        return self._stack[-1].id if self._stack else None
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        """Open a nested span; attributes set on the handle land on the
+        ``span_end`` event."""
+        span = Span(f"s{self._next_span}", name)
+        self._next_span += 1
+        self._emit("span_begin", name, span=span.id, parent=self._current,
+                   attrs=attrs or None)
+        self._stack.append(span)
+        start = self._clock()
+        try:
+            yield span
+        finally:
+            self._stack.pop()
+            self._emit(
+                "span_end",
+                name,
+                span=span.id,
+                parent=self._current,
+                attrs=span.end_attrs or None,
+                dur=self._clock() - start,
+            )
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """A point event attributed to the innermost open span."""
+        self._emit("event", name, span=self._current, attrs=attrs or None)
+
+    def snapshot_metrics(self, registry) -> None:
+        """Emit one ``metric`` event per metric in the registry."""
+        for name, payload in registry.as_dict().items():
+            self._emit("metric", name, span=self._current, attrs=payload)
+
+    # -- output ----------------------------------------------------------
+    def events(self) -> List[Dict[str, Any]]:
+        return list(self._events)
+
+    def dump(self, path) -> None:
+        """Write the trace as JSONL with sorted keys (stable diffs)."""
+        with open(path, "w") as handle:
+            for event in self._events:
+                handle.write(json.dumps(event, sort_keys=True) + "\n")

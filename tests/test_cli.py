@@ -1,5 +1,7 @@
 """CLI tests (python -m repro ...)."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -36,3 +38,56 @@ class TestCli:
     def test_command_required(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestCliTrace:
+    @pytest.fixture(scope="class")
+    def trace_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("trace") / "matvec.trace.jsonl"
+        main(["tune", "matvec", "--size", "24", "--trace", str(path)])
+        return path
+
+    def test_tune_trace_writes_valid_jsonl(self, trace_path, capsys):
+        from repro.obs import load_trace
+
+        events = load_trace(trace_path, validate=True)
+        assert events, "trace must be non-empty"
+        assert events[0]["type"] == "meta"
+        assert events[0]["attrs"]["kernel"] == "matvec"
+        assert any(e["type"] == "event" and e["name"] == "eval" for e in events)
+        assert any(e["type"] == "metric" for e in events)
+
+    def test_stats_json_line_is_stable(self, capsys, tmp_path):
+        def stats_line():
+            main(["tune", "matvec", "--size", "24", "--stats"])
+            out = capsys.readouterr().out
+            [line] = [l for l in out.splitlines() if l.startswith("stats json: ")]
+            return line[len("stats json: "):]
+
+        first, second = stats_line(), stats_line()
+        assert first == second  # byte-identical across runs (no wall times)
+        parsed = json.loads(first)
+        assert "wall_seconds" not in json.dumps(parsed)
+        assert list(parsed["stages"])[0] == "screen"  # first-seen order
+
+    def test_trace_summary(self, trace_path, capsys):
+        main(["trace", "summary", str(trace_path)])
+        out = capsys.readouterr().out
+        assert "evaluations:" in out and "screen" in out
+
+    def test_trace_convergence(self, trace_path, capsys):
+        main(["trace", "convergence", str(trace_path)])
+        out = capsys.readouterr().out
+        assert "improvements over" in out
+
+    def test_trace_timeline(self, trace_path, capsys):
+        main(["trace", "timeline", str(trace_path)])
+        out = capsys.readouterr().out
+        assert "optimizer:matvec" in out
+
+    def test_trace_chrome_export(self, trace_path, capsys, tmp_path):
+        out_path = tmp_path / "chrome.json"
+        main(["trace", "chrome", str(trace_path), "-o", str(out_path)])
+        chrome = json.loads(out_path.read_text())
+        assert chrome["traceEvents"]
+        assert {"name", "ph", "ts", "pid", "tid"} <= set(chrome["traceEvents"][0])

@@ -27,6 +27,7 @@ from repro.eval import (
     EvalRequest,
     ResultCache,
     candidate_key,
+    stats_delta,
 )
 from repro.kernels import matmul
 from repro.machines import get_machine
@@ -236,6 +237,90 @@ class TestEngineAccounting:
         assert engine.stats.stages["alpha"].simulations == 1
         assert engine.stats.stages["beta"].cache_hits == 1
         assert engine.stats.stages["alpha"].wall_seconds > 0
+
+
+class TestStatsDelta:
+    """Regression tests: stats_delta must diff over the union of keys."""
+
+    BASE = {
+        "memory_hits": 0, "disk_hits": 0, "cache_hits": 0, "simulations": 5,
+        "failures": 0, "batches": 1, "wall_seconds": 1.0,
+        "stages": {"screen": {"wall_seconds": 1.0, "simulations": 5, "cache_hits": 0}},
+    }
+
+    def test_stage_only_in_after_is_kept(self):
+        """A stage first entered between the snapshots must survive the
+        delta (the shared-engine case: search 2 enters 'tiling' which
+        search 1 never did)."""
+        after = dict(self.BASE)
+        after["simulations"] = 8
+        after["stages"] = {
+            **self.BASE["stages"],
+            "tiling": {"wall_seconds": 0.5, "simulations": 3, "cache_hits": 0},
+        }
+        delta = stats_delta(self.BASE, after)
+        assert delta["simulations"] == 3
+        assert delta["stages"] == {
+            "tiling": {"wall_seconds": 0.5, "simulations": 3, "cache_hits": 0}
+        }
+
+    def test_key_only_in_after_stage_is_kept(self):
+        """A counter added to StageStats after `before` was snapshotted
+        deltas against zero instead of being lost."""
+        after = dict(self.BASE)
+        after["stages"] = {
+            "screen": {"wall_seconds": 1.5, "simulations": 5, "cache_hits": 0,
+                       "retries": 2},
+        }
+        delta = stats_delta(self.BASE, after)
+        assert delta["stages"]["screen"]["retries"] == 2
+
+    def test_key_only_in_before_stage_is_kept(self):
+        before = dict(self.BASE)
+        before["stages"] = {
+            "screen": {"wall_seconds": 1.0, "simulations": 5, "cache_hits": 0,
+                       "legacy": 4},
+        }
+        after = dict(self.BASE)
+        after["stages"] = {
+            "screen": {"wall_seconds": 2.0, "simulations": 7, "cache_hits": 0},
+        }
+        delta = stats_delta(before, after)
+        assert delta["stages"]["screen"]["legacy"] == -4
+        assert delta["stages"]["screen"]["simulations"] == 2
+
+    def test_top_level_key_only_in_after(self):
+        """New EvalStats counters tolerate old `before` snapshots."""
+        after = {**self.BASE, "new_counter": 9}
+        delta = stats_delta(self.BASE, after)
+        assert delta["new_counter"] == 9
+
+    def test_unchanged_stage_dropped_changed_kept(self):
+        after = dict(self.BASE)
+        after["simulations"] = 6
+        after["stages"] = {
+            "screen": dict(self.BASE["stages"]["screen"]),  # unchanged
+            "tiling": {"wall_seconds": 0.1, "simulations": 1, "cache_hits": 0},
+        }
+        delta = stats_delta(self.BASE, after)
+        assert "screen" not in delta["stages"]
+        assert "tiling" in delta["stages"]
+
+    def test_stage_order_is_first_seen(self):
+        """The delta preserves the order stages were entered in, so the
+        --stats JSON dump diffs reproducibly."""
+        after = dict(self.BASE)
+        after["stages"] = {
+            "screen": {"wall_seconds": 2.0, "simulations": 9, "cache_hits": 0},
+            "tiling": {"wall_seconds": 1.0, "simulations": 4, "cache_hits": 0},
+            "prefetch": {"wall_seconds": 0.5, "simulations": 2, "cache_hits": 0},
+        }
+        delta = stats_delta(self.BASE, after)
+        assert list(delta["stages"]) == ["screen", "tiling", "prefetch"]
+        assert list(delta) == [
+            "memory_hits", "disk_hits", "cache_hits", "simulations",
+            "failures", "batches", "wall_seconds", "stages",
+        ]
 
 
 class TestParallelEquivalence:
