@@ -22,6 +22,12 @@ enables the content-addressed on-disk result cache (default directory
 candidate; ``--stats`` prints the measured cache-hit/simulation
 accounting after a tune; ``--trace PATH`` records the whole search as a
 JSONL span trace for the ``trace`` toolchain.
+
+Robustness options (see ``docs/robustness.md``): ``--timeout SECONDS``
+and ``--retries N`` supervise candidate execution; ``--checkpoint
+[DIR]`` journals completed search stages so ``--resume`` continues an
+interrupted run to the identical result; ``--inject-faults SPEC``
+deterministically injects candidate failures for chaos testing.
 """
 
 from __future__ import annotations
@@ -39,6 +45,7 @@ from repro.sim import execute
 
 _EXPERIMENTS = ("table1", "table4", "fig4", "fig5", "searchcost", "motivation", "generality")
 _DEFAULT_CACHE_DIR = "results/cache"
+_DEFAULT_CHECKPOINT_DIR = "results/checkpoints"
 
 
 def _positive_int(text: str) -> int:
@@ -46,6 +53,15 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
     return value
+
+
+def _fault_plan_arg(text: str):
+    from repro.faults import FaultPlan
+
+    try:
+        return FaultPlan.parse(text)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error))
 
 
 def _add_engine_options(parser: argparse.ArgumentParser) -> None:
@@ -62,6 +78,47 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         help="record the search as a JSONL span trace at PATH "
              "(analyze with `repro trace ...`)",
     )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="abandon a candidate attempt after SECONDS of wall time "
+             "(parallel evaluation only; abandoned attempts are retried)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="retry a transiently failed candidate up to N times (default 2)",
+    )
+    parser.add_argument(
+        "--checkpoint", nargs="?", const=_DEFAULT_CHECKPOINT_DIR, default=None,
+        metavar="DIR",
+        help="journal completed search stages to DIR (default "
+             f"{_DEFAULT_CHECKPOINT_DIR}) so an interrupted run can resume",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="continue from an existing checkpoint (implies --checkpoint)",
+    )
+    parser.add_argument(
+        "--inject-faults", type=_fault_plan_arg, default=None, metavar="SPEC",
+        help="chaos testing: deterministically inject candidate failures, "
+             'e.g. "raise=0.2,hang=0.1,kill=0.05,seed=7" '
+             "(kinds: raise hang corrupt kill; options: seed attempts "
+             "hang_seconds)",
+    )
+
+
+def _engine_policy(args):
+    """The EvalPolicy a command's --timeout/--retries flags describe
+    (None = engine defaults)."""
+    if args.timeout is None and args.retries is None:
+        return None
+    from repro.eval import EvalPolicy
+
+    kwargs = {}
+    if args.timeout is not None:
+        kwargs["timeout_seconds"] = args.timeout
+    if args.retries is not None:
+        kwargs["max_retries"] = args.retries
+    return EvalPolicy(**kwargs)
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -144,10 +201,27 @@ def _cmd_tune(args) -> None:
         jobs=args.jobs,
         cache=ResultCache(args.cache) if args.cache else None,
         tracer=tracer,
+        policy=_engine_policy(args),
+        fault_plan=args.inject_faults,
     )
-    tuned = EcoOptimizer(kernel, machine, engine=engine).optimize(
-        _problem(kernel, args.size)
+    checkpoint_dir = args.checkpoint
+    if args.resume and checkpoint_dir is None:
+        checkpoint_dir = _DEFAULT_CHECKPOINT_DIR
+    checkpoint_path = None
+    if checkpoint_dir is not None:
+        from pathlib import Path
+
+        checkpoint_path = (
+            Path(checkpoint_dir)
+            / f"{args.kernel}-{args.machine}-N{args.size}.json"
+        )
+    optimizer = EcoOptimizer(
+        kernel, machine, engine=engine,
+        checkpoint_path=checkpoint_path, resume=args.resume,
     )
+    tuned = optimizer.optimize(_problem(kernel, args.size))
+    if optimizer.journal is not None:
+        print(f"checkpoint: {optimizer.journal.describe()}")
     problem = _problem(kernel, args.size)
     if args.explain:
         from repro.core import explain
@@ -221,10 +295,20 @@ def _cmd_experiments(
     jobs: int = 1,
     cache_dir: Optional[str] = None,
     trace: Optional[str] = None,
+    policy=None,
+    fault_plan=None,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> None:
     from repro.experiments import fig4, fig5, runner, searchcost, table1, table4
 
-    runner.configure(jobs=jobs, cache_dir=cache_dir, trace=trace)
+    if resume and checkpoint_dir is None:
+        checkpoint_dir = _DEFAULT_CHECKPOINT_DIR
+    runner.configure(
+        jobs=jobs, cache_dir=cache_dir, trace=trace,
+        policy=policy, fault_plan=fault_plan,
+        checkpoint_dir=checkpoint_dir, resume=resume,
+    )
     for name in names:
         if name == "table1":
             table1.main([])
@@ -265,7 +349,9 @@ def main(argv: Optional[List[str]] = None) -> None:
             _cmd_run(args)
         elif args.command == "experiments":
             _cmd_experiments(args.names, jobs=args.jobs, cache_dir=args.cache,
-                             trace=args.trace)
+                             trace=args.trace, policy=_engine_policy(args),
+                             fault_plan=args.inject_faults,
+                             checkpoint_dir=args.checkpoint, resume=args.resume)
         elif args.command == "trace":
             _cmd_trace(args)
     except BrokenPipeError:

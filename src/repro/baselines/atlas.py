@@ -35,6 +35,7 @@ from repro.core.variants import (
     Variant,
     instantiate,
 )
+from repro.eval import EvalEngine, EvalOutcome
 from repro.ir.expr import Const, Var
 from repro.ir.nest import Kernel
 from repro.kernels import matmul
@@ -85,6 +86,10 @@ class MiniAtlas:
     #: the repetitions are charged to the machine-time account rather than
     #: re-simulated.
     timing_reps: int = 3
+    #: optional shared evaluation engine: sweeps then go through the same
+    #: cache, parallelism and worker supervision (retries, timeouts) as
+    #: every other search, instead of raw in-process ``execute()`` calls
+    engine: Optional[EvalEngine] = None
 
     def __post_init__(self) -> None:
         self.kernel = matmul()
@@ -131,6 +136,16 @@ class MiniAtlas:
         key = (tuple(sorted(values.items())), tuning_n, prefetch_distance)
         if key in self._cache:
             return self._cache[key]
+        if self.engine is not None:
+            outcome = self._evaluate(values, {"N": tuning_n}, prefetch_distance)
+            self.search_points += 1
+            if outcome.counters is not None:
+                self.machine_seconds += self.timing_reps * outcome.counters.seconds
+            if not outcome.transient:
+                # A transient failure is re-attemptable: keep it out of the
+                # sweep cache so a revisit measures instead of inheriting inf.
+                self._cache[key] = outcome.cycles
+            return outcome.cycles
         counters = self._run(values, {"N": tuning_n}, prefetch_distance)
         cycles = counters.cycles
         self.search_points += 1
@@ -138,17 +153,39 @@ class MiniAtlas:
         self._cache[key] = cycles
         return cycles
 
-    def _run(
-        self, values: Dict[str, int], problem: Mapping[str, int], prefetch_distance: int
-    ) -> Counters:
+    def _plan(
+        self, problem: Mapping[str, int], prefetch_distance: int
+    ) -> Tuple[Variant, Dict[PrefetchSite, int]]:
+        """The skeleton + prefetch map ATLAS uses at this problem size."""
         n = int(problem["N"])
         with_copy = n * n >= self.copy_threshold_elems
-        variant = _skeleton(with_copy)
         prefetch: Dict[PrefetchSite, int] = {}
         if prefetch_distance > 0:
             target = "P" if with_copy else "B"
             prefetch[PrefetchSite(target, "K")] = prefetch_distance
             prefetch[PrefetchSite("Q" if with_copy else "A", "K")] = prefetch_distance
+        return _skeleton(with_copy), prefetch
+
+    def _evaluate(
+        self, values: Dict[str, int], problem: Mapping[str, int], prefetch_distance: int
+    ) -> EvalOutcome:
+        """One candidate through the engine, with ATLAS's no-copy fallback
+        when the copy skeleton cannot be built at this size."""
+        assert self.engine is not None
+        variant, prefetch = self._plan(problem, prefetch_distance)
+        outcome = self.engine.evaluate(
+            self.kernel, variant, values, dict(problem), prefetch
+        )
+        if outcome.status == "infeasible" and variant.name == "atlas-copy":
+            outcome = self.engine.evaluate(
+                self.kernel, _skeleton(False), values, dict(problem), prefetch
+            )
+        return outcome
+
+    def _run(
+        self, values: Dict[str, int], problem: Mapping[str, int], prefetch_distance: int
+    ) -> Counters:
+        variant, prefetch = self._plan(problem, prefetch_distance)
         try:
             inst = instantiate(self.kernel, variant, values, self.machine, prefetch)
         except TransformError:
@@ -207,4 +244,12 @@ class MiniAtlas:
     def measure(self, problem: Mapping[str, int]) -> Counters:
         if self._tuned is None:
             raise RuntimeError("call tune() before measure()")
+        if self.engine is not None:
+            outcome = self._evaluate(self._tuned, problem, self._prefetch_distance)
+            if outcome.counters is not None:
+                return outcome.counters
+            raise TransformError(
+                f"mini-ATLAS measurement failed ({outcome.status}) "
+                f"at {dict(problem)}"
+            )
         return self._run(self._tuned, problem, self._prefetch_distance)

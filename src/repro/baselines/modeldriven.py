@@ -105,6 +105,13 @@ class ModelDriven:
                 span.set(cycles=outcome.cycles if outcome.feasible else None)
             self.engine.metrics.counter("baseline.modeldriven.plans").inc()
             if outcome.counters is None:
+                if outcome.transient:
+                    # Environment trouble, not a bad plan: retrying the
+                    # whole measurement later can succeed.
+                    raise TransformError(
+                        "model-driven: measurement failed transiently "
+                        "(retries exhausted) — re-run to re-attempt"
+                    )
                 raise TransformError("model-driven: chosen variant failed to build")
             return outcome.counters
         inst = instantiate(self.kernel, variant, values, self.machine, prefetch)

@@ -21,6 +21,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
+from repro.core.checkpoint import SearchJournal, decode_cycles, encode_cycles
 from repro.core.derive import derive_variants
 from repro.core.variants import PrefetchSite, Variant, prefetch_sites
 from repro.eval import EvalEngine, EvalRequest
@@ -28,6 +29,10 @@ from repro.ir.nest import Kernel
 from repro.machines import MachineSpec
 
 __all__ = ["RandomSearch", "RandomSearchResult"]
+
+#: journaling granularity: evaluated cycles are checkpointed in chunks,
+#: so a killed run loses at most one chunk's worth of simulations
+_JOURNAL_CHUNK = 8
 
 _POW2_TILES = (1, 2, 4, 8, 16, 32, 64, 128, 256)
 _UNROLLS = (1, 2, 3, 4, 6, 8, 12, 16)
@@ -67,7 +72,12 @@ class RandomSearch:
     seed: int = 0
     engine: Optional[EvalEngine] = None
 
-    def run(self, problem: Mapping[str, int], budget: int) -> RandomSearchResult:
+    def run(
+        self,
+        problem: Mapping[str, int],
+        budget: int,
+        journal: Optional[SearchJournal] = None,
+    ) -> RandomSearchResult:
         engine = self.engine if self.engine is not None else EvalEngine(self.machine)
         with engine.tracer.span(
             "random-search",
@@ -76,7 +86,7 @@ class RandomSearch:
             budget=budget,
             seed=self.seed,
         ) as span:
-            result = self._run(engine, problem, budget)
+            result = self._run(engine, problem, budget, journal)
             span.set(
                 cycles=result.cycles if result.found_any else None,
                 wasted=result.wasted,
@@ -86,7 +96,11 @@ class RandomSearch:
         return result
 
     def _run(
-        self, engine: EvalEngine, problem: Mapping[str, int], budget: int
+        self,
+        engine: EvalEngine,
+        problem: Mapping[str, int],
+        budget: int,
+        journal: Optional[SearchJournal] = None,
     ) -> RandomSearchResult:
         rng = random.Random(self.seed)
         variants = derive_variants(self.kernel, self.machine, max_variants=20)
@@ -116,21 +130,43 @@ class RandomSearch:
             seen.add(key)
             samples.append((variant, values, prefetch))
 
+        # The sample draws are a pure function of the seed, so a resumed
+        # run regenerates them identically; only the measured cycles need
+        # journaling.  They are checkpointed in chunks as evaluation
+        # proceeds — a killed run replays finished chunks and re-simulates
+        # at most one partial chunk.  Chunks containing a transient
+        # failure are never recorded (re-attempting them is the point).
+        cycles_seen: List[float] = []
         with engine.stage("random"):
-            outcomes = engine.evaluate_batch(
-                [
-                    EvalRequest.build(self.kernel, v, values, problem, prefetch)
-                    for v, values, prefetch in samples
-                ]
-            )
+            for start in range(0, len(samples), _JOURNAL_CHUNK):
+                chunk = samples[start : start + _JOURNAL_CHUNK]
+                recorded = (
+                    journal.get("random", str(start)) if journal is not None else None
+                )
+                if isinstance(recorded, list) and len(recorded) == len(chunk):
+                    cycles_seen.extend(decode_cycles(c) for c in recorded)
+                    continue
+                outcomes = engine.evaluate_batch(
+                    [
+                        EvalRequest.build(self.kernel, v, values, problem, prefetch)
+                        for v, values, prefetch in chunk
+                    ]
+                )
+                cycles_seen.extend(o.cycles for o in outcomes)
+                if journal is not None and not any(o.transient for o in outcomes):
+                    journal.record(
+                        "random",
+                        str(start),
+                        [encode_cycles(o.cycles) for o in outcomes],
+                    )
         best: Tuple[float, Optional[Variant], Dict[str, int], Dict[PrefetchSite, int]]
         best = (math.inf, None, {}, {})
-        for (variant, values, prefetch), outcome in zip(samples, outcomes):
-            if not outcome.feasible:
+        for (variant, values, prefetch), cycles in zip(samples, cycles_seen):
+            if not math.isfinite(cycles):
                 wasted += 1  # failing build: budget spent, nothing learned
                 continue
-            if outcome.cycles < best[0]:
-                best = (outcome.cycles, variant, dict(values), dict(prefetch))
+            if cycles < best[0]:
+                best = (cycles, variant, dict(values), dict(prefetch))
         cycles, variant, values, prefetch = best
         return RandomSearchResult(
             variant=variant,

@@ -1,0 +1,185 @@
+"""Crash-safe checkpointing for the empirical searches.
+
+A multi-hour tuning run that dies at 95% used to lose everything: the
+engine's disk cache kept the *simulations*, but the search's position —
+which variants were screened, which stages finished, the best-so-far —
+lived only in process memory.  :class:`SearchJournal` fixes that: searches
+record each completed stage into a single JSON file with atomic writes
+(write-to-temp + ``os.replace``, the same discipline as the result
+cache), so a ``kill -9`` at any instant leaves either the previous
+consistent journal or the next one — never a torn file.
+
+On resume, a search asks the journal for each stage before computing it.
+Because every search in this repo is deterministic, replaying recorded
+stage results and re-running the remainder reaches the byte-identical
+best of an uninterrupted run (verified by the kill-and-resume tests).
+
+A journal is *scoped*: the scope dict fingerprints the search (kernel,
+machine, problem, config...).  Loading a journal whose scope differs —
+or whose file is corrupt — silently starts fresh, so a stale checkpoint
+can never graft one search's state onto another.
+
+Serialization helpers for the search-specific bits (prefetch sites, the
+``inf`` cycles of infeasible points, RNG state) live here too, so every
+search encodes them the same way.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "SearchJournal",
+    "encode_cycles",
+    "decode_cycles",
+    "encode_prefetch",
+    "decode_prefetch",
+    "encode_rng_state",
+    "decode_rng_state",
+]
+
+_FORMAT_VERSION = 1
+
+
+class SearchJournal:
+    """Atomic on-disk journal of completed search stages.
+
+    ``get(section, key)`` / ``record(section, key, value)`` store plain
+    JSON values under two-level names (e.g. section ``"variant:v9"``, key
+    ``"tiling"``).  Every ``record`` persists the whole journal
+    atomically, so the file is always a consistent prefix of the search.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        scope: Mapping[str, Any],
+        resume: bool = True,
+    ) -> None:
+        self.path = Path(path)
+        self.scope = _jsonable_scope(scope)
+        self._sections: Dict[str, Dict[str, Any]] = {}
+        #: how the journal started: "fresh", "resumed" or "discarded"
+        #: (an existing file was unusable: corrupt or scope mismatch)
+        self.origin = "fresh"
+        if resume:
+            self._load()
+
+    # -- access ----------------------------------------------------------
+    def get(self, section: str, key: str) -> Optional[Any]:
+        return self._sections.get(section, {}).get(key)
+
+    def section(self, section: str) -> Dict[str, Any]:
+        """A copy of one section (e.g. every recorded annealing step)."""
+        return dict(self._sections.get(section, {}))
+
+    def record(self, section: str, key: str, value: Any) -> None:
+        """Store one completed stage and persist the journal atomically."""
+        self._sections.setdefault(section, {})[key] = value
+        self._save()
+
+    @property
+    def stages_recorded(self) -> int:
+        return sum(len(entries) for entries in self._sections.values())
+
+    def describe(self) -> str:
+        return (
+            f"{self.path} ({self.origin}, {self.stages_recorded} stages, "
+            f"{len(self._sections)} sections)"
+        )
+
+    # -- persistence -----------------------------------------------------
+    def _load(self) -> None:
+        try:
+            raw = self.path.read_text()
+        except OSError:
+            return  # no checkpoint yet: fresh start
+        try:
+            payload = json.loads(raw)
+            if not isinstance(payload, dict):
+                raise ValueError("journal is not an object")
+            if payload.get("version") != _FORMAT_VERSION:
+                raise ValueError("unknown journal format")
+            sections = payload.get("sections")
+            if not isinstance(sections, dict) or not all(
+                isinstance(v, dict) for v in sections.values()
+            ):
+                raise ValueError("malformed journal sections")
+        except (ValueError, KeyError, TypeError):
+            self.origin = "discarded"
+            return
+        if payload.get("scope") != self.scope:
+            # A checkpoint for a different search (other kernel, machine,
+            # problem or config): using it would be worse than losing it.
+            self.origin = "discarded"
+            return
+        self._sections = sections
+        self.origin = "resumed"
+
+    def _save(self) -> None:
+        payload = {
+            "version": _FORMAT_VERSION,
+            "scope": self.scope,
+            "sections": self._sections,
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(prefix=".journal-", dir=str(self.path.parent))
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp, self.path)
+        except OSError:
+            # Journaling is belt-and-braces: failing to persist must not
+            # fail the search itself (the in-memory state is still right).
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+
+def _jsonable_scope(scope: Mapping[str, Any]) -> Dict[str, Any]:
+    """Normalize a scope through JSON so load-time comparison is exact
+    (tuples become lists, ints stay ints...)."""
+    return json.loads(json.dumps(dict(scope), sort_keys=True))
+
+
+# -- value codecs (shared by every search) -------------------------------
+
+def encode_cycles(cycles: float) -> Optional[float]:
+    """inf (infeasible/failed point) encodes as null — JSON has no inf."""
+    return None if math.isinf(cycles) else cycles
+
+
+def decode_cycles(value: Optional[float]) -> float:
+    return math.inf if value is None else float(value)
+
+
+def encode_prefetch(prefetch: Mapping[Any, int]) -> Dict[str, int]:
+    """``{PrefetchSite(A, K): 2}`` → ``{"A@K": 2}`` (the trace notation)."""
+    return {f"{site.array}@{site.loop}": int(d) for site, d in prefetch.items()}
+
+
+def decode_prefetch(encoded: Mapping[str, int]) -> Dict[Any, int]:
+    from repro.core.variants import PrefetchSite
+
+    out: Dict[Any, int] = {}
+    for name, distance in encoded.items():
+        array, _, loop = name.partition("@")
+        out[PrefetchSite(array, loop)] = int(distance)
+    return out
+
+
+def encode_rng_state(state: Tuple) -> List[Any]:
+    """``random.Random.getstate()`` → JSON (version, ints, gauss-next)."""
+    version, internal, gauss_next = state
+    return [version, list(internal), gauss_next]
+
+
+def decode_rng_state(encoded: Sequence[Any]) -> Tuple:
+    version, internal, gauss_next = encoded
+    return (version, tuple(internal), gauss_next)

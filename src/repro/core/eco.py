@@ -16,8 +16,10 @@ resulting version is then *measured* across whole size sweeps with
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Union
 
+from repro.core.checkpoint import SearchJournal
 from repro.core.derive import derive_variants
 from repro.core.search import GuidedSearch, SearchConfig, SearchResult
 from repro.core.variants import Variant, instantiate
@@ -87,12 +89,22 @@ class EcoOptimizer:
         config: Optional[SearchConfig] = None,
         max_variants: int = 12,
         engine: Optional[EvalEngine] = None,
+        checkpoint_path: Optional[Union[str, Path]] = None,
+        resume: bool = False,
     ) -> None:
         self.kernel = kernel
         self.machine = machine
         self.config = config or SearchConfig()
         self.max_variants = max_variants
         self.engine = engine
+        #: with a checkpoint path, phase 2 journals every completed stage
+        #: atomically; ``resume=True`` additionally replays an existing
+        #: journal, so an interrupted tune continues where it died
+        self.checkpoint_path = checkpoint_path
+        self.resume = resume
+        #: the journal of the most recent :meth:`optimize` call (for
+        #: callers that report resume provenance, e.g. ``tune --resume``)
+        self.journal: Optional[SearchJournal] = None
         self._variants: Optional[List[Variant]] = None
 
     @property
@@ -104,10 +116,37 @@ class EcoOptimizer:
             )
         return self._variants
 
+    def journal_scope(self, problem: Mapping[str, int]) -> Dict[str, object]:
+        """The fingerprint a checkpoint must match to be resumed: the
+        same kernel, machine, problem and search configuration."""
+        return {
+            "kind": "eco-guided-search",
+            "kernel": self.kernel.name,
+            "machine": self.machine.name,
+            "problem": dict(sorted(problem.items())),
+            "max_variants": self.max_variants,
+            "config": {
+                "full_search_variants": self.config.full_search_variants,
+                "max_linear_rounds": self.config.max_linear_rounds,
+                "prefetch_distances": list(self.config.prefetch_distances),
+                "min_tile": self.config.min_tile,
+                "max_unroll": self.config.max_unroll,
+                "search_padding": self.config.search_padding,
+            },
+        }
+
     def optimize(self, problem: Mapping[str, int]) -> TunedKernel:
         """Run both phases at the given (representative) problem size."""
+        self.journal = None
+        if self.checkpoint_path is not None:
+            self.journal = SearchJournal(
+                self.checkpoint_path,
+                scope=self.journal_scope(problem),
+                resume=self.resume,
+            )
         search = GuidedSearch(
-            self.kernel, self.machine, problem, self.config, engine=self.engine
+            self.kernel, self.machine, problem, self.config, engine=self.engine,
+            journal=self.journal,
         )
         engine = search.engine
         with engine.tracer.span(

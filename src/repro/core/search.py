@@ -43,6 +43,13 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.core.checkpoint import (
+    SearchJournal,
+    decode_cycles,
+    decode_prefetch,
+    encode_cycles,
+    encode_prefetch,
+)
 from repro.core.variants import (
     Constraint,
     PrefetchSite,
@@ -115,6 +122,7 @@ class GuidedSearch:
         problem: Mapping[str, int],
         config: Optional[SearchConfig] = None,
         engine: Optional[EvalEngine] = None,
+        journal: Optional[SearchJournal] = None,
     ) -> None:
         self.kernel = kernel
         self.machine = machine
@@ -125,6 +133,9 @@ class GuidedSearch:
                 f"engine is bound to {engine.machine.name}, search targets {machine.name}"
             )
         self.engine = engine if engine is not None else EvalEngine(machine)
+        #: optional crash-safe checkpoint: completed stages are recorded
+        #: as they finish and replayed on resume (docs/robustness.md)
+        self.journal = journal
         self._cache: Dict[Tuple, float] = {}
         self._counters: Dict[Tuple, Counters] = {}
         self.points = 0
@@ -196,15 +207,20 @@ class GuidedSearch:
                 results.append(self._cache[key])
                 continue
             cycles = math.inf
+            transient = False
             if runnable:
                 outcome = outcomes[req_i]
                 cycles = outcome.cycles
+                transient = outcome.transient
                 if outcome.counters is not None:
                     self._counters[key] = outcome.counters
                     self.machine_seconds += outcome.counters.seconds
                 self.points += 1
                 self.history.append((variant.name, dict(values), cycles))
-            self._cache[key] = cycles
+            if not transient:
+                # A transient failure (environment, not candidate) is not
+                # memoized: a later visit should re-attempt the point.
+                self._cache[key] = cycles
             results.append(cycles)
         return results
 
@@ -247,9 +263,7 @@ class GuidedSearch:
         stats_before = self.engine.stats.as_dict()
         with self.engine.stage("screen"):
             seeds = [self.initial_values(variant) for variant in variants]
-            cycles_list = self.measure_many(
-                [(variant, values, None, None) for variant, values in zip(variants, seeds)]
-            )
+            cycles_list = self._screen(variants, seeds)
         screened = list(zip(cycles_list, variants, seeds))
         screened.sort(key=lambda item: item[0])
         feasible = [item for item in screened if math.isfinite(item[0])]
@@ -268,14 +282,18 @@ class GuidedSearch:
                 seed_cycles=seed_cycles,
                 predicted_fit=variant.predicted_fit({**seed, **self.problem}),
             ) as vspan:
-                with self.engine.stage("tiling"):
-                    values = self.search_tiling(variant, seed)
-                with self.engine.stage("prefetch"):
-                    values, prefetch = self.search_prefetch(variant, values)
-                    values = self.adjust_after_prefetch(variant, values, prefetch)
-                with self.engine.stage("padding"):
-                    pads = self.search_padding(variant, values, prefetch)
+                values, prefetch, pads = self._search_variant(variant, seed)
                 cycles = self.measure(variant, values, prefetch, pads)
+                self._journal_record(
+                    f"variant:{variant.name}",
+                    "final",
+                    {
+                        "values": values,
+                        "prefetch": encode_prefetch(prefetch),
+                        "pads": pads,
+                        "cycles": encode_cycles(cycles),
+                    },
+                )
                 vspan.set(
                     values=dict(values),
                     prefetch=_prefetch_attrs(prefetch),
@@ -301,6 +319,80 @@ class GuidedSearch:
             history=self.history,
             stats=stats_delta(stats_before, self.engine.stats.as_dict()),
         )
+
+    # -- checkpointing ------------------------------------------------------
+    def _journal_get(self, section: str, key: str):
+        return self.journal.get(section, key) if self.journal is not None else None
+
+    def _journal_record(self, section: str, key: str, value) -> None:
+        if self.journal is not None:
+            self.journal.record(section, key, value)
+
+    def _screen(
+        self, variants: Sequence[Variant], seeds: Sequence[Dict[str, int]]
+    ) -> List[float]:
+        """Measure every variant at its seed point (replayed on resume)."""
+        names = [variant.name for variant in variants]
+        recorded = self._journal_get("screen", "results")
+        if recorded is not None and recorded.get("variants") == names:
+            return [decode_cycles(c) for c in recorded["cycles"]]
+        cycles_list = self.measure_many(
+            [(variant, values, None, None) for variant, values in zip(variants, seeds)]
+        )
+        self._journal_record(
+            "screen",
+            "results",
+            {"variants": names, "cycles": [encode_cycles(c) for c in cycles_list]},
+        )
+        return cycles_list
+
+    def _search_variant(
+        self, variant: Variant, seed: Dict[str, int]
+    ) -> Tuple[Dict[str, int], Dict[PrefetchSite, int], Dict[str, int]]:
+        """The full staged search of one variant, stage-journaled.
+
+        Each stage consults the journal first, so an interrupted search
+        resumes after its last *completed* stage; a variant whose
+        ``final`` record exists is replayed without any searching (its
+        winning point is then re-measured once, for the counters — a
+        cache hit when the engine has a disk cache).
+        """
+        section = f"variant:{variant.name}"
+        final = self._journal_get(section, "final")
+        if final is not None:
+            return (
+                _int_values(final["values"]),
+                decode_prefetch(final["prefetch"]),
+                _int_values(final["pads"]),
+            )
+        with self.engine.stage("tiling"):
+            recorded = self._journal_get(section, "tiling")
+            if recorded is not None:
+                values = _int_values(recorded["values"])
+            else:
+                values = self.search_tiling(variant, seed)
+                self._journal_record(section, "tiling", {"values": values})
+        with self.engine.stage("prefetch"):
+            recorded = self._journal_get(section, "prefetch")
+            if recorded is not None:
+                values = _int_values(recorded["values"])
+                prefetch = decode_prefetch(recorded["prefetch"])
+            else:
+                values, prefetch = self.search_prefetch(variant, values)
+                values = self.adjust_after_prefetch(variant, values, prefetch)
+                self._journal_record(
+                    section,
+                    "prefetch",
+                    {"values": values, "prefetch": encode_prefetch(prefetch)},
+                )
+        with self.engine.stage("padding"):
+            recorded = self._journal_get(section, "padding")
+            if recorded is not None:
+                pads = _int_values(recorded["pads"])
+            else:
+                pads = self.search_padding(variant, values, prefetch)
+                self._journal_record(section, "padding", {"pads": pads})
+        return values, prefetch, pads
 
     # -- stage construction -------------------------------------------------
     def stages(self, variant: Variant) -> List[List[str]]:
@@ -553,6 +645,11 @@ class GuidedSearch:
             if cycles < best_cycles:
                 pads, best_cycles = trial, cycles
         return pads
+
+
+def _int_values(mapping: Mapping[str, object]) -> Dict[str, int]:
+    """JSON round-trips parameter values as-is; coerce defensively."""
+    return {str(k): int(v) for k, v in mapping.items()}
 
 
 def _floor_pow2(value: int) -> int:

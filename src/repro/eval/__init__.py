@@ -9,6 +9,7 @@ from repro.eval.cache import CachedResult, ResultCache
 from repro.eval.engine import (
     EvalEngine,
     EvalOutcome,
+    EvalPolicy,
     EvalRequest,
     EvalStats,
     StageStats,
@@ -21,6 +22,7 @@ __all__ = [
     "ResultCache",
     "EvalEngine",
     "EvalOutcome",
+    "EvalPolicy",
     "EvalRequest",
     "EvalStats",
     "StageStats",

@@ -11,6 +11,13 @@ atomic (write-to-temp + rename) so a killed run never leaves a truncated
 entry behind; reads treat any unparsable or ill-formed file as a miss and
 remove it, so a corrupted cache degrades to re-simulation instead of
 crashing or poisoning results.
+
+Failed disk writes (a full disk, a permission flip, a vanished mount) are
+likewise non-fatal — the result stays in memory and the run continues —
+but they are *accounted*: :attr:`ResultCache.disk_write_failures` counts
+them, the engine surfaces the count in its stats/metrics, and the first
+failure emits a warning so persistent storage trouble is visible instead
+of silently degrading every future run to cold-cache speed.
 """
 
 from __future__ import annotations
@@ -19,6 +26,7 @@ import json
 import math
 import os
 import tempfile
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Optional, Union
@@ -60,6 +68,10 @@ class ResultCache:
         self.path = Path(path) if path is not None else None
         self._memory: Dict[str, CachedResult] = {}
         self.corrupt_entries = 0
+        #: disk entries that failed to persist (OSError on write/rename);
+        #: the result survives in memory, but re-runs will re-simulate it
+        self.disk_write_failures = 0
+        self._warned_write_failure = False
 
     # -- lookup ---------------------------------------------------------
     def get_memory(self, key: str) -> Optional[CachedResult]:
@@ -93,7 +105,6 @@ class ResultCache:
         if self.path is None:
             return
         file = self._file_for(key)
-        file.parent.mkdir(parents=True, exist_ok=True)
         payload = {
             "version": _FORMAT_VERSION,
             "key": key,
@@ -104,16 +115,33 @@ class ResultCache:
                 else None
             ),
         }
-        fd, tmp = tempfile.mkstemp(prefix=".tmp-", dir=str(file.parent))
+        tmp = None
         try:
+            file.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(prefix=".tmp-", dir=str(file.parent))
             with os.fdopen(fd, "w") as handle:
                 json.dump(payload, handle)
             os.replace(tmp, file)
-        except OSError:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
+        except OSError as error:
+            self._note_write_failure(error)
+            if tmp is not None:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+
+    def _note_write_failure(self, error: OSError) -> None:
+        """Count a failed disk write; warn once per cache instance."""
+        self.disk_write_failures += 1
+        if not self._warned_write_failure:
+            self._warned_write_failure = True
+            warnings.warn(
+                f"result cache at {self.path} is not persisting entries "
+                f"({error!s}); results stay in memory and re-runs will "
+                f"re-simulate (further failures counted silently)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
 
     # -- helpers --------------------------------------------------------
     def _file_for(self, key: str) -> Path:

@@ -17,10 +17,31 @@ and adds what a bare ``execute()`` call cannot:
   byte-identical; ``jobs = 1`` is a plain in-process loop;
 * **measured accounting** — :class:`EvalStats` counts cache hits by
   layer, simulations actually run, failed instantiations, and wall time
-  per named search stage, so search-cost claims are backed by numbers.
+  per named search stage, so search-cost claims are backed by numbers;
+* **worker supervision** — candidate executions crash, hang and get
+  killed on real machines, so simulation attempts run under an
+  :class:`EvalPolicy`: transient failures (including a broken process
+  pool) are retried with bounded exponential backoff, per-candidate
+  timeouts abandon hung workers, a broken pool is recreated (and, when it
+  keeps breaking, the engine degrades gracefully to serial execution).
+  Supervision affects wall time only, never results: a candidate's final
+  outcome is the same at any job count and any fault history, as long as
+  the failures are transient.
+
+Failure taxonomy (the contract the cache and the searches rely on):
+
+* **infeasible** — the candidate itself cannot be built or run
+  (``TransformError``/``ValueError``): deterministic, a true property of
+  the point, cached like any result (cycles = inf);
+* **transient** — the *environment* failed (``MemoryError``, a killed
+  worker, an injected fault, a timeout): retried up to
+  ``EvalPolicy.max_retries``; if it never succeeds the outcome reports
+  ``status="transient"`` with cycles = inf but is **never cached**, so a
+  later run re-attempts it instead of inheriting a poisoned entry.
 
 The simulation itself stays in :func:`repro.sim.execute`; the engine only
-decides *whether* and *where* to run it.
+decides *whether* and *where* to run it.  Chaos tests drive the same code
+paths deterministically through :class:`repro.faults.FaultPlan`.
 """
 
 from __future__ import annotations
@@ -28,7 +49,8 @@ from __future__ import annotations
 import math
 import sys
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
@@ -36,6 +58,12 @@ from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 from repro.core.variants import PrefetchSite, Variant, instantiate
 from repro.eval.cache import CachedResult, ResultCache
 from repro.eval.keys import candidate_key
+from repro.faults import (
+    FaultPlan,
+    InjectedHang,
+    InjectedTransientError,
+    WorkerKilled,
+)
 from repro.ir.nest import Kernel
 from repro.machines import MachineSpec
 from repro.obs import NULL_TRACER, MetricsRegistry
@@ -44,7 +72,14 @@ from repro.sim.counters import Counters
 from repro.transforms import TransformError
 from repro.transforms.padding import pad_arrays
 
-__all__ = ["EvalEngine", "EvalOutcome", "EvalRequest", "EvalStats", "StageStats"]
+__all__ = [
+    "EvalEngine",
+    "EvalOutcome",
+    "EvalPolicy",
+    "EvalRequest",
+    "EvalStats",
+    "StageStats",
+]
 
 
 @dataclass(frozen=True)
@@ -91,6 +126,10 @@ class EvalOutcome:
     cycles: float
     counters: Optional[Counters]
     source: str  # "sim" | "memory" | "disk"
+    #: "ok" (simulated fine), "infeasible" (the point cannot be built —
+    #: deterministic, cacheable) or "transient" (the environment failed
+    #: and retries ran out — never cached, safe to re-attempt later)
+    status: str = "ok"
 
     @property
     def cached(self) -> bool:
@@ -99,6 +138,46 @@ class EvalOutcome:
     @property
     def feasible(self) -> bool:
         return math.isfinite(self.cycles)
+
+    @property
+    def transient(self) -> bool:
+        return self.status == "transient"
+
+
+@dataclass(frozen=True)
+class EvalPolicy:
+    """Supervision knobs for candidate execution (see docs/robustness.md).
+
+    The defaults retry real transient failures a couple of times with no
+    backoff and never time out — i.e. behaviour is unchanged for healthy
+    runs, but a ``BrokenProcessPool`` or an OOM-killed candidate no longer
+    aborts a whole search.
+    """
+
+    #: wall-clock budget per candidate attempt (parallel execution only —
+    #: a serial in-process simulation cannot be preempted); None = no limit
+    timeout_seconds: Optional[float] = None
+    #: extra attempts per candidate after the first, for transient
+    #: failures (timeouts, killed workers, MemoryError, injected faults)
+    max_retries: int = 2
+    #: base of the exponential backoff between retry rounds (seconds);
+    #: attempt n sleeps ``backoff_seconds * 2**n`` (0 = no backoff)
+    backoff_seconds: float = 0.0
+    #: how many times the engine rebuilds a broken process pool before
+    #: degrading to serial execution for the rest of its lifetime
+    max_pool_restarts: int = 3
+
+    def __post_init__(self) -> None:
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise ValueError(f"timeout_seconds must be > 0, got {self.timeout_seconds}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_seconds < 0:
+            raise ValueError(f"backoff_seconds must be >= 0, got {self.backoff_seconds}")
+        if self.max_pool_restarts < 0:
+            raise ValueError(
+                f"max_pool_restarts must be >= 0, got {self.max_pool_restarts}"
+            )
 
 
 @dataclass
@@ -127,6 +206,13 @@ class EvalStats:
     failures: int = 0  # simulations whose instantiation/transform failed
     batches: int = 0
     wall_seconds: float = 0.0
+    #: supervision accounting (all zero on a healthy run)
+    retries: int = 0  # extra simulation attempts after a transient failure
+    timeouts: int = 0  # attempts abandoned for exceeding the time budget
+    pool_restarts: int = 0  # process pools rebuilt after breaking
+    transient_failures: int = 0  # candidates whose retries ran out
+    corrupt_results: int = 0  # attempts whose result failed validation
+    disk_write_failures: int = 0  # cache entries that failed to persist
     stages: Dict[str, StageStats] = field(default_factory=dict)
 
     @property
@@ -146,6 +232,12 @@ class EvalStats:
             "failures": self.failures,
             "batches": self.batches,
             "wall_seconds": self.wall_seconds,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "pool_restarts": self.pool_restarts,
+            "transient_failures": self.transient_failures,
+            "corrupt_results": self.corrupt_results,
+            "disk_write_failures": self.disk_write_failures,
             "stages": {name: s.as_dict() for name, s in self.stages.items()},
         }
 
@@ -181,24 +273,56 @@ def stats_delta(before: Dict[str, object], after: Dict[str, object]) -> Dict[str
     return out
 
 
-def _simulate(payload: Tuple) -> Tuple[float, Optional[Counters]]:
-    """Worker: instantiate + pad + execute one candidate.
+def _simulate(payload: Tuple) -> Tuple[str, float, Optional[Counters]]:
+    """Worker: instantiate + pad + execute one candidate attempt.
 
     Module-level so it pickles for ``ProcessPoolExecutor``; also the
-    serial path, so both modes run literally the same code.
+    serial path, so both modes run literally the same code.  Returns
+    ``(status, cycles, counters)`` with status ``"ok"``, ``"infeasible"``
+    (the point cannot be built — a deterministic property, cacheable) or
+    ``"transient"`` (the environment failed — retryable, never cached).
+    Injected faults (:class:`repro.faults.FaultPlan`) fire here, inside
+    the worker, so chaos tests exercise the real supervision paths.
     """
-    kernel, variant, values, prefetch, pads, problem, machine = payload
+    (kernel, variant, values, prefetch, pads, problem, machine,
+     key, attempt, fault_plan, in_worker) = payload
+    fault = None
+    if fault_plan is not None:
+        # may raise InjectedTransientError / InjectedHang / WorkerKilled,
+        # or os._exit a pool worker; "corrupt" is applied after the run
+        fault = fault_plan.apply(key, attempt, in_worker)
     try:
         inst = instantiate(kernel, variant, dict(values), machine, dict(prefetch))
         if pads:
             inst = pad_arrays(inst, dict(pads))
         counters = execute(inst, dict(problem), machine)
-        return counters.cycles, counters
-    except (TransformError, ValueError, MemoryError):
-        # TransformError/ValueError: the binding cannot be built (e.g. a
-        # copy that does not divide, a zero tile size); MemoryError: the
-        # padded working set exceeds the host.  All are infeasible points.
-        return math.inf, None
+    except (TransformError, ValueError):
+        # The binding cannot be built (e.g. a copy that does not divide,
+        # a zero tile size): a true property of the point.
+        return ("infeasible", math.inf, None)
+    except MemoryError:
+        # Host-side resource exhaustion: environmental, not a property of
+        # the candidate — must not be cached as infeasible (that would
+        # poison the disk cache forever).
+        return ("transient", math.inf, None)
+    if fault == "corrupt":
+        # A mangled measurement channel: cycles that cannot be right.
+        # The engine's validation catches this and retries.
+        return ("ok", -counters.cycles if counters.cycles else math.nan, counters)
+    return ("ok", counters.cycles, counters)
+
+
+#: exceptions that classify a simulation attempt as transient (retryable)
+_TRANSIENT_ERRORS = (InjectedTransientError, WorkerKilled, MemoryError, OSError)
+
+
+def _result_is_corrupt(cycles: float, counters: Optional[Counters]) -> bool:
+    """Sanity-check a successful attempt: cycles must be a positive finite
+    number consistent with the counters (inf belongs to infeasible points,
+    which report themselves as such)."""
+    if math.isnan(cycles) or cycles < 0 or math.isinf(cycles):
+        return True
+    return counters is not None and counters.cycles != cycles
 
 
 class EvalEngine:
@@ -212,6 +336,8 @@ class EvalEngine:
         cache_dir: Optional[str] = None,
         tracer=None,
         metrics: Optional[MetricsRegistry] = None,
+        policy: Optional[EvalPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -225,8 +351,16 @@ class EvalEngine:
         #: metrics registry (always on — plain arithmetic, nothing to
         #: disable); searches and the runner report into the same one
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: retry/timeout/pool-restart supervision (see docs/robustness.md)
+        self.policy = policy if policy is not None else EvalPolicy()
+        #: optional chaos harness: deterministic injected failures
+        self.fault_plan = fault_plan
         self._pool: Optional[ProcessPoolExecutor] = None
         self._stage: Optional[StageStats] = None
+        #: set once the pool broke more than the policy tolerates — the
+        #: engine then runs serially for the rest of its lifetime
+        self._serial_fallback = False
+        self._disk_failures_seen = 0
 
     # -- public API -----------------------------------------------------
     def evaluate(
@@ -265,7 +399,8 @@ class EvalEngine:
                 source = "disk"
             if hit is not None:
                 self._count_hit(source)
-                outcomes[i] = EvalOutcome(key, hit.cycles, hit.counters, source)
+                status = "infeasible" if math.isinf(hit.cycles) else "ok"
+                outcomes[i] = EvalOutcome(key, hit.cycles, hit.counters, source, status)
                 continue
             if key in pending:
                 pending[key].append(i)
@@ -273,23 +408,30 @@ class EvalEngine:
                 pending[key] = [i]
                 to_run.append(i)
 
-        # 2. simulate the misses
+        # 2. simulate the misses (supervised: retries, timeouts, pool care)
         if to_run:
-            payloads = [self._payload_of(requests[i]) for i in to_run]
-            if self.jobs > 1 and len(payloads) > 1:
-                results = list(self._map_parallel(payloads))
+            ctxs = [(self._payload_of(requests[i]), keys[i]) for i in to_run]
+            if self.jobs > 1 and len(ctxs) > 1 and not self._serial_fallback:
+                results = self._run_parallel(ctxs)
             else:
-                results = [_simulate(p) for p in payloads]
-            for i, (cycles, counters) in zip(to_run, results):
+                results = [self._run_serial(payload, key) for payload, key in ctxs]
+            for i, (status, cycles, counters) in zip(to_run, results):
                 key = keys[i]
                 self.stats.simulations += 1
                 if self._stage is not None:
                     self._stage.simulations += 1
-                if counters is None:
-                    self.stats.failures += 1
-                self.cache.put(key, CachedResult(cycles, counters))
+                if status == "transient":
+                    # Environmental failure that outlived its retries:
+                    # report it, but never cache it (a cached transient
+                    # would poison every future run with a false inf).
+                    self.stats.transient_failures += 1
+                else:
+                    if counters is None:
+                        self.stats.failures += 1
+                    self.cache.put(key, CachedResult(cycles, counters))
                 for j in pending[key]:
-                    outcomes[j] = EvalOutcome(key, cycles, counters, "sim")
+                    outcomes[j] = EvalOutcome(key, cycles, counters, "sim", status)
+            self._sync_disk_failures()
 
         self.stats.wall_seconds += time.perf_counter() - start
         assert all(o is not None for o in outcomes)
@@ -312,7 +454,9 @@ class EvalEngine:
         for outcome in outcomes:
             if outcome.source == "sim":
                 metrics.counter("eval.simulations").inc()
-                if outcome.counters is not None:
+                if outcome.transient:
+                    metrics.counter("eval.transient_failures").inc()
+                elif outcome.counters is not None:
                     metrics.histogram("eval.candidate_machine_seconds").observe(
                         outcome.counters.seconds
                     )
@@ -341,6 +485,8 @@ class EvalEngine:
                 # null cycles marks an infeasible candidate (inf is not JSON)
                 "cycles": outcome.cycles if outcome.feasible else None,
             }
+            if outcome.transient:
+                attrs["transient"] = True
             if counters is not None:
                 attrs["machine_seconds"] = counters.seconds
                 attrs["counters"] = {
@@ -413,6 +559,10 @@ class EvalEngine:
             self.machine,
         )
 
+    def _attempt_payload(self, payload: Tuple, key: str, attempt: int,
+                         in_worker: bool) -> Tuple:
+        return (*payload, key, attempt, self.fault_plan, in_worker)
+
     def _count_hit(self, source: str) -> None:
         if source == "memory":
             self.stats.memory_hits += 1
@@ -421,8 +571,227 @@ class EvalEngine:
         if self._stage is not None:
             self._stage.cache_hits += 1
 
-    def _map_parallel(self, payloads: List[Tuple]) -> List[Tuple[float, Optional[Counters]]]:
+    # -- supervised execution -------------------------------------------
+    # Both paths preserve the determinism guarantee: a candidate's final
+    # (status, cycles, counters) is a pure function of the candidate and
+    # the fault plan — retries, timeouts and pool restarts change wall
+    # time and supervision counters, never results.
+
+    def _note_retry(self, key: str, attempt: int, reason: str) -> None:
+        self.stats.retries += 1
+        self.metrics.counter("eval.retries").inc()
+        if self.tracer.enabled:
+            self.tracer.event("eval_retry", key=key, attempt=attempt, reason=reason)
+
+    def _note_timeout(self) -> None:
+        self.stats.timeouts += 1
+        self.metrics.counter("eval.timeouts").inc()
+
+    def _note_corrupt(self) -> None:
+        self.stats.corrupt_results += 1
+        self.metrics.counter("eval.corrupt_results").inc()
+
+    def _backoff(self, attempt: int) -> None:
+        if self.policy.backoff_seconds > 0:
+            time.sleep(self.policy.backoff_seconds * (2 ** attempt))
+
+    def _classify_attempt(
+        self, result: Tuple[str, float, Optional[Counters]]
+    ) -> Tuple[Optional[str], Tuple[str, float, Optional[Counters]]]:
+        """(retry reason | None, result): validate one completed attempt."""
+        status, cycles, counters = result
+        if status == "ok" and _result_is_corrupt(cycles, counters):
+            self._note_corrupt()
+            return "corrupt", ("transient", math.inf, None)
+        if status == "transient":
+            return "transient", result
+        return None, result
+
+    def _run_serial(self, payload: Tuple, key: str) -> Tuple[str, float, Optional[Counters]]:
+        """One candidate, in process, with bounded retries.
+
+        Timeouts cannot preempt an in-process simulation; an injected
+        hang (:class:`InjectedHang`) still counts one, so the serial and
+        parallel chaos paths account alike.
+        """
+        attempt = 0
+        while True:
+            reason = None
+            try:
+                result = _simulate(self._attempt_payload(payload, key, attempt, False))
+            except InjectedHang:
+                self._note_timeout()
+                reason = "timeout"
+                result = ("transient", math.inf, None)
+            except _TRANSIENT_ERRORS as error:
+                reason = type(error).__name__
+                result = ("transient", math.inf, None)
+            if reason is None:
+                reason, result = self._classify_attempt(result)
+                if reason is None:
+                    return result
+            if attempt >= self.policy.max_retries:
+                return ("transient", math.inf, None)
+            self._note_retry(key, attempt, reason)
+            self._backoff(attempt)
+            attempt += 1
+
+    def _run_parallel(
+        self, ctxs: List[Tuple[Tuple, str]]
+    ) -> List[Tuple[str, float, Optional[Counters]]]:
+        """A batch on the process pool, gathered in input order.
+
+        Rounds: every unresolved candidate is submitted, results are
+        collected in input order (so emission stays deterministic), and
+        candidates whose attempt failed transiently go into the next
+        round.  Failure budgets are kept separate on purpose:
+
+        * per-candidate **strikes** (timeouts, transient errors, corrupt
+          results) draw on ``policy.max_retries``;
+        * **pool deaths** draw on ``policy.max_pool_restarts`` — a killed
+          worker takes every in-flight candidate with it and the OS does
+          not say which task was responsible, so charging any candidate's
+          retry budget would let unrelated kills starve it spuriously.
+          The in-flight candidates are simply resubmitted (with a bumped
+          attempt number, so an injected kill fault does not re-fire
+          forever); when the pool breaks more often than the policy
+          tolerates, the engine falls back to serial execution — for this
+          batch and all later ones — rather than fail the search.
+
+        A timed-out candidate leaves its worker wedged on the abandoned
+        simulation, so the pool is recycled at the end of any round that
+        recorded a timeout (quietly: not a pool *break*).
+        """
+        n = len(ctxs)
+        results: List[Optional[Tuple[str, float, Optional[Counters]]]] = [None] * n
+        attempts = [0] * n  # submissions so far (gates the fault plan)
+        strikes = [0] * n  # failures charged against policy.max_retries
+        unresolved = list(range(n))
+        round_index = 0
+        while unresolved:
+            if self._serial_fallback:
+                for i in unresolved:
+                    payload, key = ctxs[i]
+                    results[i] = self._run_serial(payload, key)
+                break
+            if round_index > 0 and self.policy.backoff_seconds > 0:
+                time.sleep(self.policy.backoff_seconds * (2 ** (round_index - 1)))
+            pool = self._ensure_pool()
+            try:
+                futures = {
+                    i: pool.submit(
+                        _simulate,
+                        self._attempt_payload(ctxs[i][0], ctxs[i][1], attempts[i], True),
+                    )
+                    for i in unresolved
+                }
+            except BrokenProcessPool:
+                # Submission itself failed: nothing ran, resubmit as-is.
+                self._handle_pool_break()
+                round_index += 1
+                continue
+            next_round: List[int] = []
+            pool_broke = False
+            timed_out = False
+            for i in unresolved:
+                payload, key = ctxs[i]
+                if pool_broke:
+                    # The pool died while this round was in flight: defer
+                    # everything still unresolved to the next round.  The
+                    # submitted attempt may or may not have run — bump the
+                    # attempt number so a fault that fired is not replayed.
+                    if results[i] is None:
+                        attempts[i] += 1
+                        next_round.append(i)
+                    continue
+                future = futures[i]
+                reason = None
+                result = None
+                try:
+                    result = future.result(timeout=self.policy.timeout_seconds)
+                except FutureTimeout:
+                    if future.cancel():
+                        # Never started (queued behind slow work): not a
+                        # timeout of *this* candidate — rerun it as-is.
+                        next_round.append(i)
+                        continue
+                    self._note_timeout()
+                    timed_out = True
+                    reason = "timeout"
+                except InjectedHang:
+                    # The worker's own simulated hang completed before our
+                    # wait expired (e.g. no timeout configured).
+                    self._note_timeout()
+                    reason = "timeout"
+                except BrokenProcessPool:
+                    pool_broke = True
+                    self._handle_pool_break()
+                    self._note_retry(key, attempts[i], "worker_died")
+                    attempts[i] += 1
+                    next_round.append(i)
+                    continue
+                except _TRANSIENT_ERRORS as error:
+                    reason = type(error).__name__
+                if reason is None:
+                    reason, result = self._classify_attempt(result)
+                    if reason is None:
+                        results[i] = result
+                        continue
+                if strikes[i] >= self.policy.max_retries:
+                    results[i] = ("transient", math.inf, None)
+                    continue
+                strikes[i] += 1
+                self._note_retry(key, attempts[i], reason)
+                attempts[i] += 1
+                next_round.append(i)
+            if timed_out and not pool_broke:
+                self._recycle_pool()
+            unresolved = [i for i in next_round if results[i] is None]
+            round_index += 1
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self.jobs)
-        futures = [self._pool.submit(_simulate, p) for p in payloads]
-        return [f.result() for f in futures]
+        return self._pool
+
+    def _recycle_pool(self) -> None:
+        """Discard a pool whose workers may be wedged on abandoned
+        (timed-out) simulations; the next round gets fresh workers."""
+        if self._pool is not None:
+            try:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:
+                pass
+            self._pool = None
+            self.metrics.counter("eval.pool_recycles").inc()
+
+    def _handle_pool_break(self) -> None:
+        """Tear down a broken pool; restart it or degrade to serial."""
+        self.stats.pool_restarts += 1
+        self.metrics.counter("eval.pool_restarts").inc()
+        if self._pool is not None:
+            try:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:
+                pass
+            self._pool = None
+        if self.stats.pool_restarts > self.policy.max_pool_restarts:
+            self._serial_fallback = True
+            self.metrics.counter("eval.serial_fallbacks").inc()
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "serial_fallback", pool_restarts=self.stats.pool_restarts
+                )
+        elif self.tracer.enabled:
+            self.tracer.event("pool_restart", pool_restarts=self.stats.pool_restarts)
+
+    def _sync_disk_failures(self) -> None:
+        """Fold the cache's write-failure count into stats and metrics."""
+        failures = getattr(self.cache, "disk_write_failures", 0)
+        if failures > self._disk_failures_seen:
+            delta = failures - self._disk_failures_seen
+            self._disk_failures_seen = failures
+            self.stats.disk_write_failures += delta
+            self.metrics.counter("eval.disk_write_failures").inc(delta)

@@ -18,11 +18,13 @@ the call.
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from repro.baselines import MiniAtlas
 from repro.core import EcoOptimizer, SearchConfig, TunedKernel
-from repro.eval import EvalEngine, ResultCache
+from repro.eval import EvalEngine, EvalPolicy, ResultCache
+from repro.faults import FaultPlan
 from repro.kernels import get_kernel
 from repro.machines import get_machine
 from repro.obs import NULL_TRACER, MetricsRegistry, Tracer
@@ -34,6 +36,7 @@ __all__ = [
     "metrics",
     "tracer",
     "flush_trace",
+    "checkpoint_path_for",
     "tuned_eco",
     "tuned_atlas",
     "clear_cache",
@@ -47,12 +50,20 @@ _CACHE_DIR: Optional[str] = None
 _TRACE_PATH: Optional[str] = None
 _TRACER = NULL_TRACER
 _METRICS = MetricsRegistry()
+_POLICY: Optional[EvalPolicy] = None
+_FAULT_PLAN: Optional[FaultPlan] = None
+_CHECKPOINT_DIR: Optional[str] = None
+_RESUME: bool = False
 
 
 def configure(
     jobs: int = 1,
     cache_dir: Optional[str] = None,
     trace: Optional[str] = None,
+    policy: Optional[EvalPolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> None:
     """Set evaluation parallelism, the on-disk result-cache directory and
     (optionally) a trace output path.
@@ -62,13 +73,24 @@ def configure(
     effect uniformly.  With ``trace`` set, every engine shares one
     :class:`~repro.obs.Tracer`; call :func:`flush_trace` when the
     experiments are done to write the JSONL file.
+
+    ``policy`` supervises candidate execution (retries/timeouts — see
+    :class:`~repro.eval.EvalPolicy`), ``fault_plan`` injects deterministic
+    failures for chaos runs, and ``checkpoint_dir`` journals each ECO
+    tuning run to ``<dir>/<kernel>-<machine>-N<size>.json`` so an
+    interrupted run continues with ``resume=True``.
     """
     global _JOBS, _CACHE_DIR, _TRACE_PATH, _TRACER, _METRICS
+    global _POLICY, _FAULT_PLAN, _CHECKPOINT_DIR, _RESUME
     _JOBS = max(1, int(jobs))
     _CACHE_DIR = cache_dir
     _TRACE_PATH = trace
     _TRACER = Tracer(source="experiments", jobs=_JOBS) if trace else NULL_TRACER
     _METRICS = MetricsRegistry()
+    _POLICY = policy
+    _FAULT_PLAN = fault_plan
+    _CHECKPOINT_DIR = checkpoint_dir
+    _RESUME = resume
     clear_cache()
 
 
@@ -103,6 +125,8 @@ def engine_for(machine_name: str) -> EvalEngine:
             cache=ResultCache(_CACHE_DIR) if _CACHE_DIR else None,
             tracer=_TRACER,
             metrics=_METRICS,
+            policy=_POLICY,
+            fault_plan=_FAULT_PLAN,
         )
         _ENGINES[machine.name] = engine
         _METRICS.gauge("runner.engines").set(len(_ENGINES))
@@ -129,15 +153,34 @@ def engine_stats() -> List[Dict[str, object]]:
     return rows
 
 
+def checkpoint_path_for(
+    kernel_name: str, machine_name: str, tuning_size: int
+) -> Optional[Path]:
+    """Where a tuning run's journal lives (None with checkpointing off)."""
+    if _CHECKPOINT_DIR is None:
+        return None
+    return Path(_CHECKPOINT_DIR) / f"{kernel_name}-{machine_name}-N{tuning_size}.json"
+
+
 def tuned_eco(kernel_name: str, machine_name: str, tuning_size: int) -> TunedKernel:
     """ECO-tune a kernel on a machine (cached)."""
     machine = get_machine(machine_name)
     key = (kernel_name, machine.name, tuning_size)
     if key not in _ECO_CACHE:
         optimizer = EcoOptimizer(
-            get_kernel(kernel_name), machine, engine=engine_for(machine_name)
+            get_kernel(kernel_name),
+            machine,
+            engine=engine_for(machine_name),
+            checkpoint_path=checkpoint_path_for(
+                kernel_name, machine.name, tuning_size
+            ),
+            resume=_RESUME,
         )
         _ECO_CACHE[key] = optimizer.optimize({"N": tuning_size})
+        if optimizer.journal is not None and optimizer.journal.origin != "fresh":
+            _METRICS.counter(
+                f"runner.checkpoints.{optimizer.journal.origin}"
+            ).inc()
     return _ECO_CACHE[key]
 
 
@@ -146,7 +189,7 @@ def tuned_atlas(machine_name: str, tuning_size: int) -> MiniAtlas:
     machine = get_machine(machine_name)
     key = (machine.name, tuning_size)
     if key not in _ATLAS_CACHE:
-        atlas = MiniAtlas(machine)
+        atlas = MiniAtlas(machine, engine=engine_for(machine_name))
         atlas.tune(tuning_size)
         _ATLAS_CACHE[key] = atlas
     return _ATLAS_CACHE[key]

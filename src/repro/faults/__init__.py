@@ -1,0 +1,27 @@
+"""Fault injection for chaos-testing the empirical search.
+
+See :mod:`repro.faults.plan` for the design; ``docs/robustness.md`` for
+the failure model and usage.
+"""
+
+from repro.faults.plan import (
+    FAULT_KINDS,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    InjectedHang,
+    InjectedTransientError,
+    WorkerKilled,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "InjectedHang",
+    "InjectedTransientError",
+    "WorkerKilled",
+]

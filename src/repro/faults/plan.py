@@ -1,0 +1,218 @@
+"""Deterministic, seeded fault injection for the evaluation engine.
+
+Empirical search runs candidates *on a real machine*, and real machines
+fail: an execution segfaults, a measurement process hangs, the OS kills a
+worker, a flaky channel returns garbage counters.  The supervision layer
+in :class:`repro.eval.EvalEngine` exists to survive exactly that — and
+this module makes those failures *reproducible on demand*, so chaos tests
+exercise the real retry/timeout/pool-restart code paths instead of mocks.
+
+A :class:`FaultPlan` is a pure value (picklable, hashable) carried into
+the simulation worker alongside each candidate.  For every
+``(candidate key, attempt)`` pair it deterministically decides — via a
+seeded content hash, no global RNG — whether that simulation
+
+* ``raise``\\ s a transient error (:class:`InjectedTransientError`),
+* ``hang``\\ s (sleeps, then raises :class:`InjectedHang`, the simulated
+  analogue of a candidate blowing its time budget),
+* ``corrupt``\\ s its result (returns counters whose cycles fail the
+  engine's sanity check), or
+* ``kill``\\ s its worker outright (``os._exit`` in a pool worker, so the
+  parent sees ``BrokenProcessPool``; a plain :class:`WorkerKilled` raise
+  when simulating serially, where killing would take the search with it).
+
+Because the decision is a function of ``(seed, key, attempt)``, a faulted
+run is exactly repeatable, and a fault that fires on attempt 0 reliably
+does *not* fire on the retry when ``attempts`` is 1 — which is what lets
+the chaos tests assert that a search under injected faults converges to
+the byte-identical best of a fault-free run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+__all__ = [
+    "FaultKind",
+    "FaultSpec",
+    "FaultPlan",
+    "InjectedFault",
+    "InjectedTransientError",
+    "InjectedHang",
+    "WorkerKilled",
+    "FAULT_KINDS",
+]
+
+#: the four failure modes the harness can inject
+FAULT_KINDS = ("raise", "hang", "corrupt", "kill")
+
+FaultKind = str
+
+
+class InjectedFault(Exception):
+    """Base class of every injected failure (never raised directly)."""
+
+
+class InjectedTransientError(InjectedFault):
+    """A transient, environmental failure (the injected analogue of a
+    loader hiccup or an OOM kill): retrying the same candidate should
+    succeed once the fault window passes."""
+
+
+class InjectedHang(InjectedFault):
+    """A candidate that exceeded its time budget (simulated hang)."""
+
+
+class WorkerKilled(InjectedFault):
+    """A worker death, as seen from serial execution (the parallel path
+    injects a real ``os._exit`` instead, producing ``BrokenProcessPool``)."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One failure mode with its probability and persistence.
+
+    ``rate``
+        probability that a given candidate draws this fault at all
+        (rates of all specs in a plan must sum to <= 1).
+    ``attempts``
+        how many consecutive attempts of the same candidate the fault
+        fires on.  The default (1) makes every fault transient: attempt 0
+        fails, the retry succeeds — the regime in which supervision must
+        reproduce fault-free results exactly.
+    """
+
+    kind: FaultKind
+    rate: float
+    attempts: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r} (want {FAULT_KINDS})")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded schedule of injected failures, keyed by candidate.
+
+    The plan travels with each simulation payload (it pickles with the
+    candidate), so both the in-process serial path and pool workers apply
+    it through literally the same code.
+    """
+
+    specs: Tuple[FaultSpec, ...] = ()
+    seed: int = 0
+    #: how long an injected hang sleeps before raising — long enough to
+    #: trip a configured per-candidate timeout, short enough for tests
+    hang_seconds: float = 0.05
+
+    def __post_init__(self) -> None:
+        total = sum(spec.rate for spec in self.specs)
+        if total > 1.0 + 1e-9:
+            raise ValueError(f"fault rates sum to {total}, must be <= 1")
+
+    # -- the deterministic draw -----------------------------------------
+    def decide(self, key: str, attempt: int) -> Optional[FaultKind]:
+        """The fault (if any) this candidate suffers on this attempt.
+
+        Pure function of ``(seed, key, attempt-window)``: the same
+        candidate always draws the same fault, and stops suffering it
+        once ``attempt`` reaches the spec's ``attempts``.
+        """
+        if not self.specs:
+            return None
+        draw = self._draw(key)
+        cumulative = 0.0
+        for spec in self.specs:
+            cumulative += spec.rate
+            if draw < cumulative:
+                return spec.kind if attempt < spec.attempts else None
+        return None
+
+    def _draw(self, key: str) -> float:
+        digest = hashlib.sha256(f"{self.seed}:{key}".encode()).digest()
+        return int.from_bytes(digest[:8], "big") / 2.0**64
+
+    # -- application (runs inside the simulation worker) ----------------
+    def apply(self, key: str, attempt: int, in_worker: bool) -> Optional[FaultKind]:
+        """Fire the drawn fault, if any, for this simulation attempt.
+
+        ``raise``/``hang``/``kill`` faults abort the simulation here;
+        ``corrupt`` is returned to the caller, which runs the real
+        simulation and then mangles the result (so corruption exercises
+        the engine's result validation, not just its exception handling).
+        """
+        kind = self.decide(key, attempt)
+        if kind is None or kind == "corrupt":
+            return kind
+        if kind == "raise":
+            raise InjectedTransientError(f"injected transient failure for {key[:12]}")
+        if kind == "hang":
+            if self.hang_seconds > 0:
+                time.sleep(self.hang_seconds)
+            raise InjectedHang(f"injected hang for {key[:12]}")
+        # kind == "kill"
+        if in_worker:
+            import os
+
+            os._exit(86)  # hard death: the parent sees BrokenProcessPool
+        raise WorkerKilled(f"injected worker death for {key[:12]}")
+
+    # -- construction helpers -------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Build a plan from a CLI spec like
+        ``"raise=0.2,hang=0.1,kill=0.05,seed=7,attempts=1,hang_seconds=0.05"``.
+
+        Each ``kind=rate`` pair adds a :class:`FaultSpec`; ``seed``,
+        ``attempts`` (applied to every spec) and ``hang_seconds`` set the
+        plan-wide knobs.
+        """
+        specs = []
+        seed = 0
+        attempts = 1
+        hang_seconds = 0.05
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ValueError(f"bad fault spec {part!r} (want kind=rate)")
+            name, _, value = part.partition("=")
+            name = name.strip()
+            value = value.strip()
+            if name == "seed":
+                seed = int(value)
+            elif name == "attempts":
+                attempts = int(value)
+            elif name == "hang_seconds":
+                hang_seconds = float(value)
+            elif name in FAULT_KINDS:
+                specs.append((name, float(value)))
+            else:
+                raise ValueError(
+                    f"unknown fault spec key {name!r} "
+                    f"(want one of {FAULT_KINDS + ('seed', 'attempts', 'hang_seconds')})"
+                )
+        if not specs:
+            raise ValueError(
+                f"fault spec {text!r} names no fault kinds (want e.g. 'raise=0.2')"
+            )
+        return cls(
+            specs=tuple(FaultSpec(kind, rate, attempts) for kind, rate in specs),
+            seed=seed,
+            hang_seconds=hang_seconds,
+        )
+
+    def describe(self) -> str:
+        if not self.specs:
+            return "no faults"
+        bits = [f"{s.kind}={s.rate:g}(x{s.attempts})" for s in self.specs]
+        return f"seed={self.seed} " + " ".join(bits)

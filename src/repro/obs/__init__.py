@@ -19,6 +19,7 @@ from repro.obs.reader import (
     load_trace,
     span_nodes,
     stage_totals,
+    supervision_totals,
     trace_meta,
 )
 from repro.obs.report import (
@@ -47,6 +48,7 @@ __all__ = [
     "eval_events",
     "convergence",
     "stage_totals",
+    "supervision_totals",
     "span_nodes",
     "trace_meta",
     "render_summary",

@@ -21,6 +21,7 @@ __all__ = [
     "eval_events",
     "convergence",
     "stage_totals",
+    "supervision_totals",
     "span_nodes",
     "trace_meta",
     "SpanNode",
@@ -123,6 +124,40 @@ def stage_totals(events: List[Dict[str, Any]]) -> Dict[str, Dict[str, float]]:
             row["cache_hits"] += attrs.get("cache_hits", 0)
             row["machine_seconds"] += machine_by_span.get(event.get("span"), 0.0)
     return totals
+
+
+#: supervision counters (docs/robustness.md), in reporting order
+SUPERVISION_METRICS = (
+    "eval.retries",
+    "eval.timeouts",
+    "eval.pool_restarts",
+    "eval.pool_recycles",
+    "eval.serial_fallbacks",
+    "eval.transient_failures",
+    "eval.corrupt_results",
+    "eval.disk_write_failures",
+)
+
+
+def supervision_totals(events: List[Dict[str, Any]]) -> Dict[str, int]:
+    """Non-zero supervision counters from the trace's metric snapshots.
+
+    Snapshots are cumulative, so the last ``metric`` event per name wins.
+    An empty dict means the run saw no retries, timeouts, pool trouble,
+    exhausted candidates, corrupt results or disk-write failures.
+    """
+    latest: Dict[str, int] = {}
+    for event in events:
+        if event.get("type") != "metric":
+            continue
+        name = event.get("name")
+        if name in SUPERVISION_METRICS:
+            latest[name] = event.get("attrs", {}).get("value", 0)
+    return {
+        name: latest[name]
+        for name in SUPERVISION_METRICS
+        if latest.get(name)
+    }
 
 
 @dataclass

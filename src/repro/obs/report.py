@@ -12,6 +12,7 @@ from repro.obs.reader import (
     eval_events,
     span_nodes,
     stage_totals,
+    supervision_totals,
     trace_meta,
 )
 
@@ -44,6 +45,15 @@ def render_summary(events: List[Dict[str, Any]]) -> str:
         f"{len(evals) - len(feasible)} infeasible)",
         f"simulated machine time: {machine_s * 1e3:.3f} ms",
     ]
+    recovery = supervision_totals(events)
+    if recovery:
+        lines.append(
+            "supervision: "
+            + ", ".join(
+                f"{name.removeprefix('eval.')}={value}"
+                for name, value in recovery.items()
+            )
+        )
     curve = convergence(events)
     if curve:
         index, cycles, attrs = curve[-1]

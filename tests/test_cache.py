@@ -1,0 +1,194 @@
+"""Result-cache robustness tests: corruption, I/O failure, poisoning.
+
+The disk cache is shared state that outlives any single run, so its
+failure modes are the dangerous ones: a torn or mismatched entry must
+degrade to re-simulation (never a crash, never a wrong result), failed
+writes must be counted and warned about instead of silently dropping
+persistence, and transient evaluation failures must never be written to
+disk at all — a cached ``inf`` would poison every future search that
+visits the same candidate.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import warnings
+from pathlib import Path
+
+import pytest
+
+from repro.core import GuidedSearch, derive_variants
+from repro.eval import CachedResult, EvalEngine, EvalRequest, ResultCache
+from repro.faults import FaultPlan, FaultSpec
+from repro.kernels import matmul
+from repro.machines import get_machine
+
+SGI = get_machine("sgi")
+
+
+def _one_request():
+    kernel = matmul()
+    variant = derive_variants(kernel, SGI)[0]
+    values = GuidedSearch(kernel, SGI, {"N": 16}).initial_values(variant)
+    return EvalRequest.build(kernel, variant, values, {"N": 16})
+
+
+def _entry_file(cache: ResultCache) -> Path:
+    files = list(Path(cache.path).rglob("*.json"))
+    assert len(files) == 1
+    return files[0]
+
+
+def _prime(tmp_path) -> tuple:
+    """A disk cache holding exactly one real evaluation."""
+    cache = ResultCache(tmp_path / "cache")
+    engine = EvalEngine(SGI, cache=cache)
+    request = _one_request()
+    outcome = engine.evaluate_batch([request])[0]
+    assert engine.stats.simulations == 1
+    return cache, request, outcome
+
+
+class TestCorruptEntries:
+    def _fresh_lookup(self, cache_dir, request):
+        """A cold engine over the same disk cache (memory layer empty)."""
+        return EvalEngine(SGI, cache=ResultCache(cache_dir))
+
+    def test_truncated_json_resimulates(self, tmp_path):
+        cache, request, outcome = _prime(tmp_path)
+        file = _entry_file(cache)
+        file.write_text(file.read_text()[: len(file.read_text()) // 2])
+        engine = self._fresh_lookup(cache.path, request)
+        again = engine.evaluate_batch([request])[0]
+        assert again.cycles == outcome.cycles
+        assert again.source == "sim"  # re-simulated, not served corrupt
+        assert engine.cache.corrupt_entries == 1
+        assert not file.exists() or file.read_text()  # repaired by the put
+
+    def test_key_mismatch_resimulates(self, tmp_path):
+        cache, request, outcome = _prime(tmp_path)
+        file = _entry_file(cache)
+        payload = json.loads(file.read_text())
+        payload["key"] = "0" * 64
+        file.write_text(json.dumps(payload))
+        engine = self._fresh_lookup(cache.path, request)
+        again = engine.evaluate_batch([request])[0]
+        assert again.source == "sim"
+        assert again.cycles == outcome.cycles
+        assert engine.cache.corrupt_entries == 1
+
+    def test_version_mismatch_resimulates(self, tmp_path):
+        cache, request, outcome = _prime(tmp_path)
+        file = _entry_file(cache)
+        payload = json.loads(file.read_text())
+        payload["version"] = 999
+        file.write_text(json.dumps(payload))
+        engine = self._fresh_lookup(cache.path, request)
+        again = engine.evaluate_batch([request])[0]
+        assert again.source == "sim"
+        assert again.cycles == outcome.cycles
+        assert engine.cache.corrupt_entries == 1
+
+    def test_unreadable_file_is_a_miss(self, tmp_path):
+        if os.geteuid() == 0:
+            pytest.skip("chmod 000 is not enforced for root")
+        cache, request, outcome = _prime(tmp_path)
+        file = _entry_file(cache)
+        file.chmod(0o000)
+        try:
+            engine = self._fresh_lookup(cache.path, request)
+            again = engine.evaluate_batch([request])[0]
+            assert again.source == "sim"
+            assert again.cycles == outcome.cycles
+            # unreadable != corrupt: the entry may be fine, just blocked
+            assert engine.cache.corrupt_entries == 0
+        finally:
+            file.chmod(0o644)
+
+    def test_corrupt_entry_unlink_failure_is_tolerated(self, tmp_path, monkeypatch):
+        cache, request, outcome = _prime(tmp_path)
+        file = _entry_file(cache)
+        file.write_text("{ not json")
+        monkeypatch.setattr(
+            Path, "unlink", lambda self, *a, **k: (_ for _ in ()).throw(OSError())
+        )
+        fresh = ResultCache(cache.path)
+        # the corrupt file cannot even be removed: still a miss, no crash
+        engine = EvalEngine(SGI, cache=fresh)
+        again = engine.evaluate_batch([request])[0]
+        assert again.source == "sim"
+        assert again.cycles == outcome.cycles
+        assert fresh.corrupt_entries >= 1
+
+
+class TestWriteFailures:
+    def test_disk_write_failure_counted_and_warned_once(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path / "cache")
+
+        def boom(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr("tempfile.mkstemp", boom)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            cache.put("ab" * 32, CachedResult(1.0, None))
+            cache.put("cd" * 32, CachedResult(2.0, None))
+        assert cache.disk_write_failures == 2
+        runtime = [w for w in caught if issubclass(w.category, RuntimeWarning)]
+        assert len(runtime) == 1  # warned once, counted twice
+        assert "not persisting" in str(runtime[0].message)
+        # the results survive in memory regardless
+        assert cache.get_memory("ab" * 32).cycles == 1.0
+
+    def test_engine_surfaces_write_failures_in_stats(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path / "cache")
+        engine = EvalEngine(SGI, cache=cache)
+
+        def boom(*args, **kwargs):
+            raise OSError("read-only filesystem")
+
+        monkeypatch.setattr("tempfile.mkstemp", boom)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            engine.evaluate_batch([_one_request()])
+        assert engine.stats.disk_write_failures == 1
+        assert engine.metrics.counter("eval.disk_write_failures").value == 1
+
+
+class TestTransientNeverCached:
+    def test_transient_outcome_not_persisted(self, tmp_path):
+        # Every attempt fails transiently: retries exhaust, and neither
+        # cache layer may remember the inf result.
+        plan = FaultPlan(specs=(FaultSpec("raise", 1.0, attempts=10),), seed=0)
+        cache = ResultCache(tmp_path / "cache")
+        engine = EvalEngine(SGI, cache=cache, fault_plan=plan)
+        request = _one_request()
+        outcome = engine.evaluate_batch([request])[0]
+        assert outcome.status == "transient"
+        assert cache.get_memory(outcome.key) is None
+        assert list(Path(cache.path).rglob("*.json")) == []
+        # the fault gone, the same cache serves a real simulation
+        healthy = EvalEngine(SGI, cache=cache)
+        again = healthy.evaluate_batch([request])[0]
+        assert again.status == "ok" and again.source == "sim"
+        assert math.isfinite(again.cycles)
+
+    def test_infeasible_is_cached_as_before(self, tmp_path):
+        # Contrast: a deterministic infeasibility (bad binding) IS cached.
+        kernel = matmul()
+        variant = derive_variants(kernel, SGI)[0]
+        values = GuidedSearch(kernel, SGI, {"N": 16}).initial_values(variant)
+        values = {k: 0 for k in values}  # zero tiles cannot be built
+        request = EvalRequest.build(kernel, variant, values, {"N": 16})
+        cache = ResultCache(tmp_path / "cache")
+        engine = EvalEngine(SGI, cache=cache)
+        outcome = engine.evaluate_batch([request])[0]
+        assert outcome.status == "infeasible"
+        assert math.isinf(outcome.cycles)
+        cold = EvalEngine(SGI, cache=ResultCache(cache.path))
+        hit = cold.evaluate_batch([request])[0]
+        assert hit.cached
+        assert hit.status == "infeasible"
+        assert cold.stats.simulations == 0

@@ -1,0 +1,280 @@
+"""Crash-safe checkpoint/resume tests.
+
+The contract (docs/robustness.md): with a journal attached, killing a
+search at any instant and resuming it reaches the byte-identical best of
+an uninterrupted run — for ECO's guided search and for the random and
+annealing baselines — and a journal from a *different* search (other
+kernel, machine, problem or config) is discarded rather than grafted on.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.baselines.annealing import AnnealingSearch
+from repro.baselines.randomsearch import RandomSearch
+from repro.core import EcoOptimizer, SearchConfig
+from repro.core.checkpoint import (
+    SearchJournal,
+    decode_cycles,
+    decode_prefetch,
+    decode_rng_state,
+    encode_cycles,
+    encode_prefetch,
+    encode_rng_state,
+)
+from repro.core.search import GuidedSearch
+from repro.core.variants import PrefetchSite
+from repro.eval import EvalEngine
+from repro.kernels import matmul
+from repro.machines import get_machine
+
+SGI = get_machine("sgi")
+SRC_DIR = str(Path(repro.__file__).parents[1])
+
+
+class Interrupt(Exception):
+    """Stands in for a crash inside an in-process search."""
+
+
+class FuseEngine(EvalEngine):
+    """An engine that dies after a set number of batches."""
+
+    def __init__(self, *args, fuse: int, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.fuse = fuse
+
+    def evaluate_batch(self, requests):
+        if self.fuse <= 0:
+            raise Interrupt()
+        self.fuse -= 1
+        return super().evaluate_batch(requests)
+
+
+class TestJournal:
+    SCOPE = {"kind": "test", "n": 1}
+
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "j.json"
+        journal = SearchJournal(path, scope=self.SCOPE, resume=False)
+        journal.record("stage", "a", {"x": 1})
+        journal.record("stage", "b", [1, 2, 3])
+        loaded = SearchJournal(path, scope=self.SCOPE, resume=True)
+        assert loaded.origin == "resumed"
+        assert loaded.get("stage", "a") == {"x": 1}
+        assert loaded.get("stage", "b") == [1, 2, 3]
+        assert loaded.stages_recorded == 2
+        assert loaded.section("stage") == {"a": {"x": 1}, "b": [1, 2, 3]}
+
+    def test_missing_file_is_fresh(self, tmp_path):
+        journal = SearchJournal(tmp_path / "none.json", scope=self.SCOPE)
+        assert journal.origin == "fresh"
+        assert journal.get("s", "k") is None
+
+    def test_scope_mismatch_discards(self, tmp_path):
+        path = tmp_path / "j.json"
+        SearchJournal(path, scope=self.SCOPE, resume=False).record("s", "k", 1)
+        other = SearchJournal(path, scope={"kind": "test", "n": 2}, resume=True)
+        assert other.origin == "discarded"
+        assert other.get("s", "k") is None
+
+    def test_corrupt_file_discards(self, tmp_path):
+        path = tmp_path / "j.json"
+        path.write_text("{ torn mid-write")
+        journal = SearchJournal(path, scope=self.SCOPE, resume=True)
+        assert journal.origin == "discarded"
+        journal.record("s", "k", 1)  # and the next record repairs the file
+        assert SearchJournal(path, scope=self.SCOPE).get("s", "k") == 1
+
+    def test_wrong_version_discards(self, tmp_path):
+        path = tmp_path / "j.json"
+        path.write_text(json.dumps({"version": 999, "scope": self.SCOPE,
+                                    "sections": {}}))
+        assert SearchJournal(path, scope=self.SCOPE).origin == "discarded"
+
+    def test_scope_normalizes_tuples(self, tmp_path):
+        path = tmp_path / "j.json"
+        SearchJournal(
+            path, scope={"dims": (1, 2)}, resume=False
+        ).record("s", "k", 1)
+        # a scope built with lists instead of tuples still matches
+        assert SearchJournal(path, scope={"dims": [1, 2]}).origin == "resumed"
+
+    def test_codecs_roundtrip(self):
+        assert decode_cycles(encode_cycles(math.inf)) == math.inf
+        assert decode_cycles(encode_cycles(123.5)) == 123.5
+        prefetch = {PrefetchSite("A", "K"): 2, PrefetchSite("B", "J"): 4}
+        assert decode_prefetch(encode_prefetch(prefetch)) == prefetch
+        import random
+
+        rng = random.Random(7)
+        rng.random()
+        state = rng.getstate()
+        restored = random.Random()
+        restored.setstate(decode_rng_state(encode_rng_state(state)))
+        assert restored.random() == rng.random()
+
+
+class TestGuidedResume:
+    CONFIG = SearchConfig(full_search_variants=2)
+
+    def _clean(self):
+        return EcoOptimizer(matmul(), SGI, self.CONFIG).optimize({"N": 16}).result
+
+    def test_interrupt_anywhere_then_resume_matches_clean(self, tmp_path):
+        clean = self._clean()
+        path = tmp_path / "ck.json"
+        # Crash after 3 batches, then crash repeatedly with a larger fuse
+        # (replaying a journal re-measures each completed variant's winner,
+        # one batch apiece, so the fuse must exceed that replay cost to
+        # guarantee forward progress), until one pass survives to the end:
+        # the final best must be byte-identical wherever the crashes landed.
+        fuse = 3
+        for round_index in range(20):
+            optimizer = EcoOptimizer(
+                matmul(), SGI, self.CONFIG,
+                engine=FuseEngine(SGI, fuse=fuse),
+                checkpoint_path=path, resume=True,
+            )
+            try:
+                result = optimizer.optimize({"N": 16}).result
+                break
+            except Interrupt:
+                fuse = 25
+        else:
+            pytest.fail("search never completed within the crash budget")
+        assert result.variant.name == clean.variant.name
+        assert result.values == clean.values
+        assert result.prefetch == clean.prefetch
+        assert result.pads == clean.pads
+        assert result.cycles == clean.cycles
+
+    def test_resume_skips_completed_work(self, tmp_path):
+        path = tmp_path / "ck.json"
+        first = EcoOptimizer(
+            matmul(), SGI, self.CONFIG, checkpoint_path=path
+        )
+        clean = first.optimize({"N": 16}).result
+        engine = EvalEngine(SGI)
+        resumed = EcoOptimizer(
+            matmul(), SGI, self.CONFIG, engine=engine,
+            checkpoint_path=path, resume=True,
+        ).optimize({"N": 16}).result
+        assert resumed.cycles == clean.cycles
+        assert resumed.values == clean.values
+        # replay re-measures only the per-variant winners, not the search
+        assert engine.stats.simulations < clean.points / 2
+
+    def test_config_change_discards_checkpoint(self, tmp_path):
+        path = tmp_path / "ck.json"
+        EcoOptimizer(
+            matmul(), SGI, self.CONFIG, checkpoint_path=path
+        ).optimize({"N": 16})
+        other = EcoOptimizer(
+            matmul(), SGI, SearchConfig(full_search_variants=1),
+            checkpoint_path=path, resume=True,
+        )
+        other.optimize({"N": 16})
+        assert other.journal.origin == "discarded"
+
+
+class TestBaselineResume:
+    def test_random_search_resumes_identically(self, tmp_path):
+        clean = RandomSearch(matmul(), SGI, seed=3).run({"N": 16}, budget=40)
+        path = tmp_path / "rj.json"
+        scope = {"kind": "random", "seed": 3}
+        journal = SearchJournal(path, scope=scope, resume=False)
+        try:
+            RandomSearch(
+                matmul(), SGI, seed=3, engine=FuseEngine(SGI, fuse=2)
+            ).run({"N": 16}, budget=40, journal=journal)
+            pytest.fail("fuse engine should have interrupted the search")
+        except Interrupt:
+            pass
+        resumed_journal = SearchJournal(path, scope=scope, resume=True)
+        assert resumed_journal.origin == "resumed"
+        assert resumed_journal.stages_recorded == 2  # the completed chunks
+        engine = EvalEngine(SGI)
+        resumed = RandomSearch(matmul(), SGI, seed=3, engine=engine).run(
+            {"N": 16}, budget=40, journal=resumed_journal
+        )
+        assert resumed.variant.name == clean.variant.name
+        assert resumed.values == clean.values
+        assert resumed.prefetch == clean.prefetch
+        assert resumed.cycles == clean.cycles
+        assert resumed.wasted == clean.wasted
+
+    def test_annealing_resumes_identically(self, tmp_path):
+        clean = AnnealingSearch(matmul(), SGI, seed=4).run({"N": 16}, budget=25)
+        path = tmp_path / "aj.json"
+        scope = {"kind": "annealing", "seed": 4}
+        journal = SearchJournal(path, scope=scope, resume=False)
+        try:
+            AnnealingSearch(
+                matmul(), SGI, seed=4, engine=FuseEngine(SGI, fuse=10)
+            ).run({"N": 16}, budget=25, journal=journal)
+            pytest.fail("fuse engine should have interrupted the search")
+        except Interrupt:
+            pass
+        resumed_journal = SearchJournal(path, scope=scope, resume=True)
+        assert resumed_journal.origin == "resumed"
+        assert resumed_journal.stages_recorded > 0
+        engine = EvalEngine(SGI)
+        resumed = AnnealingSearch(matmul(), SGI, seed=4, engine=engine).run(
+            {"N": 16}, budget=25, journal=resumed_journal
+        )
+        assert resumed.variant.name == clean.variant.name
+        assert resumed.values == clean.values
+        assert resumed.prefetch == clean.prefetch
+        assert resumed.cycles == clean.cycles
+        assert resumed.points == clean.points
+        assert resumed.accepted == clean.accepted
+        # resume really continued mid-walk instead of replaying everything
+        assert engine.stats.evaluations < clean.points
+
+
+class TestKillAndResumeCLI:
+    """The acceptance scenario: SIGKILL a real tune, resume, same golden."""
+
+    def _tune(self, checkpoint_dir, resume=False, kill_after=None):
+        cmd = [
+            sys.executable, "-m", "repro", "tune", "mm",
+            "--machine", "sgi", "--size", "24",
+            "--checkpoint", str(checkpoint_dir),
+        ]
+        if resume:
+            cmd.append("--resume")
+        proc = subprocess.Popen(
+            cmd, cwd=SRC_DIR, env={"PYTHONPATH": SRC_DIR, "PATH": "/usr/bin:/bin"},
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+        if kill_after is not None:
+            time.sleep(kill_after)
+            proc.send_signal(signal.SIGKILL)
+            proc.wait()
+            return None
+        out, _ = proc.communicate(timeout=600)
+        assert proc.returncode == 0, out
+        return out
+
+    def test_sigkill_mid_tune_then_resume_reaches_clean_result(self, tmp_path):
+        clean = self._tune(tmp_path / "clean")
+        selected = [l for l in clean.splitlines() if "selected" in l]
+        assert selected, clean
+        # Kill a second tune mid-search (if it finished first, resume is
+        # trivially a replay — the assertion below still holds).
+        self._tune(tmp_path / "ck", kill_after=2.0)
+        resumed = self._tune(tmp_path / "ck", resume=True)
+        assert [l for l in resumed.splitlines() if "selected" in l] == selected
+        assert [l for l in resumed.splitlines() if "prefetch:" in l] == [
+            l for l in clean.splitlines() if "prefetch:" in l
+        ]
