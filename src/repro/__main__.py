@@ -12,7 +12,10 @@ Commands:
   (default: all; names: table1 table4 fig4 fig5 searchcost motivation
   generality);
 * ``trace summary|timeline|convergence|chrome TRACE.jsonl`` — analyze a
-  search trace (see ``docs/observability.md``).
+  search trace (see ``docs/observability.md``);
+* ``bench sim [--quick] [--check]`` — measure simulator throughput
+  (``BENCH_sim.json``), optionally gating against the committed floor
+  in ``benchmarks/perf/sim_floor.json`` (see ``docs/simulator.md``).
 
 ``tune`` and ``experiments`` accept evaluation-engine options:
 ``-j/--jobs N`` fans candidate batches out over N worker processes
@@ -156,6 +159,19 @@ def _parser() -> argparse.ArgumentParser:
                              default=list(_EXPERIMENTS))
     _add_engine_options(experiments)
 
+    bench = sub.add_parser("bench", help="tracked performance benchmarks")
+    bench.add_argument("suite", choices=("sim",),
+                       help="benchmark suite to run (sim: simulator throughput)")
+    bench.add_argument("--quick", action="store_true",
+                       help="smaller sizes, fewer repeats (the CI smoke mode)")
+    bench.add_argument("--check", action="store_true",
+                       help="exit non-zero on regression vs the committed floor "
+                            "(benchmarks/perf/sim_floor.json)")
+    bench.add_argument("--floor", default=None, metavar="FILE",
+                       help="alternate floor file for --check")
+    bench.add_argument("-o", "--out", default="BENCH_sim.json", metavar="FILE",
+                       help="result file (default BENCH_sim.json)")
+
     trace = sub.add_parser("trace", help="analyze a recorded search trace")
     trace.add_argument("action", choices=("summary", "timeline", "convergence", "chrome"))
     trace.add_argument("trace", metavar="TRACE.jsonl")
@@ -258,6 +274,22 @@ def _cmd_run(args) -> None:
         print(f"{key:12} {value}")
 
 
+def _cmd_bench(args) -> None:
+    from repro import bench
+
+    argv = []
+    if args.quick:
+        argv.append("--quick")
+    if args.check:
+        argv.append("--check")
+    if args.floor:
+        argv += ["--floor", args.floor]
+    argv += ["--out", args.out]
+    code = bench.main(argv)
+    if code:
+        raise SystemExit(code)
+
+
 def _cmd_trace(args) -> None:
     import json
 
@@ -352,6 +384,8 @@ def main(argv: Optional[List[str]] = None) -> None:
                              trace=args.trace, policy=_engine_policy(args),
                              fault_plan=args.inject_faults,
                              checkpoint_dir=args.checkpoint, resume=args.resume)
+        elif args.command == "bench":
+            _cmd_bench(args)
         elif args.command == "trace":
             _cmd_trace(args)
     except BrokenPipeError:

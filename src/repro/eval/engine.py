@@ -213,6 +213,11 @@ class EvalStats:
     transient_failures: int = 0  # candidates whose retries ran out
     corrupt_results: int = 0  # attempts whose result failed validation
     disk_write_failures: int = 0  # cache entries that failed to persist
+    #: simulator throughput over the simulations actually run (cache hits
+    #: cost no simulator time); sim_seconds is host wall time spent inside
+    #: ``execute()``, sim_accesses the memory events those runs processed
+    sim_seconds: float = 0.0
+    sim_accesses: int = 0
     stages: Dict[str, StageStats] = field(default_factory=dict)
 
     @property
@@ -222,6 +227,12 @@ class EvalStats:
     @property
     def evaluations(self) -> int:
         return self.cache_hits + self.simulations
+
+    @property
+    def sim_accesses_per_sec(self) -> float:
+        if self.sim_seconds <= 0:
+            return 0.0
+        return self.sim_accesses / self.sim_seconds
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -238,6 +249,8 @@ class EvalStats:
             "transient_failures": self.transient_failures,
             "corrupt_results": self.corrupt_results,
             "disk_write_failures": self.disk_write_failures,
+            "sim_seconds": self.sim_seconds,
+            "sim_accesses": self.sim_accesses,
             "stages": {name: s.as_dict() for name, s in self.stages.items()},
         }
 
@@ -420,6 +433,9 @@ class EvalEngine:
                 self.stats.simulations += 1
                 if self._stage is not None:
                     self._stage.simulations += 1
+                if counters is not None:
+                    self.stats.sim_seconds += counters.sim_seconds
+                    self.stats.sim_accesses += counters.sim_accesses
                 if status == "transient":
                     # Environmental failure that outlived its retries:
                     # report it, but never cache it (a cached transient
@@ -463,6 +479,16 @@ class EvalEngine:
                     metrics.histogram("eval.candidate_cycles").observe(
                         outcome.cycles
                     )
+                    c = outcome.counters
+                    if c.sim_accesses:
+                        metrics.counter("sim.accesses").inc(c.sim_accesses)
+                        metrics.counter("sim.fastpath_collapsed").inc(
+                            c.sim_collapsed
+                        )
+                        if c.sim_batches:
+                            metrics.histogram("sim.batch_size").observe(
+                                c.sim_accesses / c.sim_batches
+                            )
                 else:
                     metrics.counter("eval.failures").inc()
             else:
@@ -495,6 +521,15 @@ class EvalEngine:
                     "l2_misses": counters.l2_misses,
                     "tlb_misses": counters.tlb_misses,
                 }
+                if counters.sim_accesses:
+                    # deterministic fast-path accounting; the host wall
+                    # time (sim_seconds) stays out of the trace on purpose
+                    attrs["sim"] = {
+                        "accesses": counters.sim_accesses,
+                        "batches": counters.sim_batches,
+                        "collapsed": counters.sim_collapsed,
+                        "timing_events": counters.sim_timing_events,
+                    }
             self.tracer.event("eval", **attrs)
 
     @contextmanager

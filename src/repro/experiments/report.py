@@ -99,6 +99,13 @@ def format_eval_stats(stats: Mapping[str, object]) -> str:
     failures = stats.get("failures", 0)
     if failures:
         parts.append(f"failed builds: {failures:,}")
+    sim_seconds = float(stats.get("sim_seconds", 0.0) or 0.0)
+    sim_accesses = int(stats.get("sim_accesses", 0) or 0)
+    if sim_accesses:
+        line = f"simulator: {sim_accesses:,} accesses in {sim_seconds:.3f}s"
+        if sim_seconds > 0:
+            line += f" ({sim_accesses / sim_seconds:,.0f} accesses/sec)"
+        parts.append(line)
     stages = stats.get("stages", {})
     if isinstance(stages, Mapping) and stages:
         stage_bits = []
@@ -123,7 +130,11 @@ def format_eval_stats_json(stats: Mapping[str, object]) -> str:
 
     def strip(value):
         if isinstance(value, Mapping):
-            return {k: strip(v) for k, v in value.items() if k != "wall_seconds"}
+            return {
+                k: strip(v)
+                for k, v in value.items()
+                if k not in ("wall_seconds", "sim_seconds")
+            }
         return value
 
     return json.dumps(strip(stats))

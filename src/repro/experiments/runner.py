@@ -148,6 +148,8 @@ def engine_stats() -> List[Dict[str, object]]:
                 "disk_hits": stats.disk_hits,
                 "failures": stats.failures,
                 "eval_wall_s": round(stats.wall_seconds, 1),
+                "sim_s": round(stats.sim_seconds, 2),
+                "acc_per_s": int(stats.sim_accesses_per_sec),
             }
         )
     return rows

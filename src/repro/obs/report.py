@@ -45,6 +45,18 @@ def render_summary(events: List[Dict[str, Any]]) -> str:
         f"{len(evals) - len(feasible)} infeasible)",
         f"simulated machine time: {machine_s * 1e3:.3f} ms",
     ]
+    sim_acc = sum(e["attrs"].get("sim", {}).get("accesses", 0) for e in sims)
+    if sim_acc:
+        collapsed = sum(
+            e["attrs"].get("sim", {}).get("collapsed", 0) for e in sims
+        )
+        timing = sum(
+            e["attrs"].get("sim", {}).get("timing_events", 0) for e in sims
+        )
+        lines.append(
+            f"simulator accesses: {sim_acc:,} "
+            f"({collapsed:,} collapsed, {timing:,} timing events replayed)"
+        )
     recovery = supervision_totals(events)
     if recovery:
         lines.append(

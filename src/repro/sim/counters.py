@@ -43,6 +43,20 @@ class Counters:
     stall_cycles: float = 0.0
     tlb_stall_cycles: float = 0.0
 
+    # simulator throughput (host-side cost of producing this result;
+    # sim_seconds is wall time and must stay out of reproducible output)
+    sim_seconds: float = 0.0
+    sim_accesses: int = 0
+    sim_batches: int = 0
+    sim_collapsed: int = 0
+    sim_timing_events: int = 0
+
+    @property
+    def sim_accesses_per_sec(self) -> float:
+        if self.sim_seconds <= 0:
+            return 0.0
+        return self.sim_accesses / self.sim_seconds
+
     @property
     def l1_misses(self) -> int:
         return self.cache_misses[0] if self.cache_misses else 0

@@ -12,19 +12,29 @@ models:
 * (optionally, ``model_writebacks=True``) write-back traffic: stores mark
   their last-level line dirty, and evicting a dirty line occupies the
   memory bus for another line transfer;
-* an exact trace-collapsing fast path: a demand access to the same L1
-  line as the immediately preceding demand access is always an L1 (and
-  TLB) hit and leaves LRU state unchanged, so such runs are counted in
-  bulk without touching the simulation state.  Prefetches never collapse
-  (a prefetch followed by a same-line demand must still charge the demand
-  the in-flight fill residue).
+* an exact vectorized two-pass fast path (:mod:`repro.sim.fastpath`):
+  pass 1 classifies a whole batch hit/miss per level and TLB in bulk
+  numpy (grouping accesses by set and replaying only the heads of
+  same-line runs through the per-set LRU dicts), pass 2 replays only the
+  timing-relevant events — misses, demand TLB misses, pending-fill hits —
+  sequentially for ``now``/``bus_free``/stall accounting.  A demand
+  access whose immediately preceding event is a demand access to the
+  same L1 line additionally collapses before classification (it is
+  always an L1 and TLB hit with no LRU motion and no stall); any
+  intervening prefetch breaks the pair, because a prefetch's insert can
+  change the set's contents.
 
-  Hit/miss and TLB counts are *exactly* those of per-access simulation.
-  Timing is exact up to an intra-batch reordering of issue cycles: the
-  collapsed accesses' issue time is charged at the start of their batch,
-  so a fill initiated mid-batch can carry a timestamp early/late by at
-  most the batch's collapsed issue time (never across batches, and zero
-  when nothing collapses).
+  Hit/miss/eviction/TLB/write-back counts are *exactly* those of
+  per-access simulation — classification never consults time.  Timing is
+  exact up to float reassociation of the intra-batch issue-time sum (see
+  the fastpath module docstring for the argument); it never drifts
+  across batches.
+
+``MemorySystem(machine, reference=True)`` keeps the per-access scalar
+replay as the differential baseline: ``access_vector`` then simply loops
+over :meth:`MemorySystem.access`, the single scalar entry point.  The
+parity suite (``tests/test_sim_parity.py``) pins the two paths against
+each other.
 
 Event kinds: 0 = load, 1 = store, 2 = prefetch.
 """
@@ -36,6 +46,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.machines import MachineSpec
+from repro.sim import fastpath
 from repro.sim.cache import CacheState
 
 __all__ = ["KIND_LOAD", "KIND_STORE", "KIND_PREFETCH", "MemorySystem"]
@@ -48,9 +59,17 @@ KIND_PREFETCH = 2
 class MemorySystem:
     """Simulation state for the full hierarchy of one machine."""
 
-    def __init__(self, machine: MachineSpec, model_writebacks: bool = False) -> None:
+    def __init__(
+        self,
+        machine: MachineSpec,
+        model_writebacks: bool = False,
+        reference: bool = False,
+    ) -> None:
         self.machine = machine
         self.model_writebacks = model_writebacks
+        #: replay batches per access through the scalar path (the
+        #: pre-fastpath simulator, kept as the differential baseline)
+        self.reference = reference
         self.writebacks = 0
         self._dirty = set()
         self.caches = [CacheState(spec) for spec in machine.caches]
@@ -67,6 +86,11 @@ class MemorySystem:
         self.stall_cycles = 0.0
         self.tlb_stall_cycles = 0.0
         self._last_demand_line = -1
+        #: throughput accounting (surfaced as sim.* metrics / bench)
+        self.accesses = 0  # events received (scalar + vector)
+        self.batches = 0  # access_vector calls
+        self.collapsed = 0  # accesses classified in bulk, never replayed
+        self.timing_events = 0  # pass-2 events sequentially replayed
 
     # -- bulk interface ----------------------------------------------------
     def advance(self, cycles: float) -> None:
@@ -77,53 +101,52 @@ class MemorySystem:
         self,
         addresses: np.ndarray,
         kinds: np.ndarray,
-        cycles_per_access: float,
+        cycles_per_access,
     ) -> None:
         """Process an ordered event batch.
 
         ``cycles_per_access`` is each event's share of the issue time of
         its loop iteration (the CPU model computes it from the loop body's
-        fp/memory balance).
+        fp/memory balance) — a uniform float, or a float64 array carrying
+        one issue charge per event (the fused executor path folds
+        statement issue and loop overhead into it).
         """
-        if len(addresses) == 0:
+        n = len(addresses)
+        if n == 0:
             return
-        l1 = self.caches[0]
-        lines = addresses >> l1.line_bits
-        demand = kinds != KIND_PREFETCH
-        # Collapse runs of equal consecutive demand lines (exact: see module
-        # docstring).  Prefetch positions are always kept.
-        keep = np.ones(len(addresses), dtype=bool)
-        demand_idx = np.nonzero(demand)[0]
-        if len(demand_idx):
-            demand_lines = lines[demand_idx]
-            same = np.empty(len(demand_idx), dtype=bool)
-            same[0] = demand_lines[0] == self._last_demand_line
-            np.equal(demand_lines[1:], demand_lines[:-1], out=same[1:])
-            keep[demand_idx[same]] = False
-            self._last_demand_line = int(demand_lines[-1])
-        dropped = int(len(addresses) - keep.sum())
-        if dropped:
-            # Collapsed accesses are L1 and TLB hits with no stall.
-            l1.hits += dropped
-            self.tlb_hits += dropped
-            self.now += dropped * cycles_per_access
-        kept_addrs = addresses[keep]
-        kept_kinds = kinds[keep]
-        access_one = self._access_one
-        for addr, kind in zip(kept_addrs.tolist(), kept_kinds.tolist()):
-            access_one(addr, kind, cycles_per_access)
+        self.batches += 1
+        if not self.reference:
+            self.accesses += n
+            fastpath.process_batch(self, addresses, kinds, cycles_per_access)
+            return
+        # Reference: the scalar entry point, once per event.
+        if isinstance(cycles_per_access, np.ndarray):
+            for addr, kind, cpa in zip(
+                addresses.tolist(), kinds.tolist(), cycles_per_access.tolist()
+            ):
+                self.access(addr, kind, cpa)
+        else:
+            for addr, kind in zip(addresses.tolist(), kinds.tolist()):
+                self.access(addr, kind, cycles_per_access)
 
     def access(self, address: int, kind: int, cycles_per_access: float = 1.0) -> None:
-        """Process one event (scalar path, used outside inner loops)."""
+        """Process one event — the single scalar entry point (used by the
+        executor's statement path and by ``reference`` batch replay)."""
+        self.accesses += 1
         l1 = self.caches[0]
         line = address >> l1.line_bits
         if kind != KIND_PREFETCH:
             if line == self._last_demand_line:
                 l1.hits += 1
                 self.tlb_hits += 1
+                self.collapsed += 1
                 self.now += cycles_per_access
                 return
             self._last_demand_line = line
+        else:
+            # A prefetch breaks the collapse pair: its insert can evict
+            # lines from the set, so the next demand hit must replay.
+            self._last_demand_line = -1
         self._access_one(address, kind, cycles_per_access)
 
     # -- core simulation ----------------------------------------------------

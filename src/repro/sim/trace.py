@@ -82,13 +82,16 @@ class TraceRecorder:
         self.now += cycles_per_access
 
     def access_vector(
-        self, addresses: np.ndarray, kinds: np.ndarray, cycles_per_access: float
+        self, addresses: np.ndarray, kinds: np.ndarray, cycles_per_access
     ) -> None:
         if len(addresses) == 0:
             return
         self._addresses.append(np.asarray(addresses, dtype=np.int64))
         self._kinds.append(np.asarray(kinds, dtype=np.int8))
-        self.now += cycles_per_access * len(addresses)
+        if isinstance(cycles_per_access, np.ndarray):
+            self.now += float(cycles_per_access.sum())
+        else:
+            self.now += cycles_per_access * len(addresses)
 
     def hit_counts(self) -> Tuple[int, ...]:
         return ()

@@ -22,7 +22,11 @@ from repro.machines import get_machine
 GOLDEN_VALUES = {"TI": 8, "TK": 12, "UI": 8, "UJ": 2}
 GOLDEN_PREFETCH = {("A", "K"): 2, ("B", "K"): 2}
 GOLDEN_POINTS = 51
-GOLDEN_CYCLES = 30774.400000004192
+# 30774.4 before the demand-collapse fix: a demand hit following a
+# prefetch now replays (the prefetch's insert can change the set), so
+# such hits charge their real pending-fill stall instead of collapsing.
+# Hit/miss/TLB counters are unchanged.
+GOLDEN_CYCLES = 30236.800000003852
 
 
 @pytest.fixture(scope="module")

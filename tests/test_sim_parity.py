@@ -1,0 +1,208 @@
+"""Differential parity: the vectorized two-pass simulator vs the scalar
+reference.
+
+``MemorySystem(reference=True)`` replays batches through the per-access
+scalar path — the pre-fastpath simulator, kept for exactly this purpose.
+The fast path's contract (see docs/simulator.md, "Fast path"):
+
+* hit/miss/eviction/TLB/write-back **counts are byte-identical** — pass-1
+  classification is a pure function of the ordered line sequence and
+  never consults time;
+* the full LRU state (per-set key order and pending-fill times) and the
+  dirty-line set match after every batch;
+* **timing agrees up to float reassociation** of the intra-batch
+  issue-time sum (the fast path accumulates per-event issue charges with
+  a vectorized cumulative sum; the scalar path adds them one by one) and
+  up to the executor's dropped-prefetch issue folding — both bounded well
+  below ``CYCLES_RTOL`` on every workload here.
+
+Two layers of evidence: randomized address-stream trials straight against
+``MemorySystem`` (stressing run collapsing, set chains, prefetch timing
+and write-backs), and whole-kernel executions through ``execute()``
+including the golden-search mm variant.  ``ultrasparc-iie`` machines have
+a 4-way L2, so the dictionary classifier is exercised alongside the
+closed-form low-associativity path of the 2-way SGI caches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kernels import KERNELS
+from repro.machines import MACHINES
+from repro.sim.executor import execute
+from repro.sim.memsys import MemorySystem
+from repro.transforms.prefetch import insert_prefetch
+from repro.transforms.scalar_replace import scalar_replace
+from repro.transforms.tile import TileSpec, tile_nest
+from repro.transforms.unroll_jam import unroll_and_jam
+
+#: relative timing tolerance: covers intra-batch issue reassociation
+#: (~1e-12 per batch) and dropped-prefetch issue folding (observed up to
+#: ~6.2e-4 on prefetching variants) with an order of magnitude to spare
+CYCLES_RTOL = 2e-3
+
+ALL_MACHINES = ("sgi-r10k", "ultrasparc-iie", "sgi-r10k-mini", "ultrasparc-iie-mini")
+
+
+def _assert_state_parity(ref: MemorySystem, fast: MemorySystem) -> None:
+    """Counts byte-identical, LRU/dirty state identical, timing bounded."""
+    assert fast.hit_counts() == ref.hit_counts()
+    assert fast.miss_counts() == ref.miss_counts()
+    for level, (rc, fc) in enumerate(zip(ref.caches, fast.caches)):
+        assert fc.evictions == rc.evictions, f"L{level + 1} evictions"
+        for rset, fset in zip(rc.sets, fc.sets):
+            assert list(fset.keys()) == list(rset.keys()), f"L{level + 1} LRU order"
+            for line in rset:
+                assert fset[line] == pytest.approx(rset[line], rel=1e-9, abs=1e-6)
+    assert (fast.tlb_hits, fast.tlb_misses) == (ref.tlb_hits, ref.tlb_misses)
+    for rset, fset in zip(ref.tlb_sets, fast.tlb_sets):
+        assert list(fset.keys()) == list(rset.keys())
+    assert fast.writebacks == ref.writebacks
+    assert fast._dirty == ref._dirty
+    for attr in ("now", "stall_cycles", "tlb_stall_cycles", "bus_free"):
+        r, f = getattr(ref, attr), getattr(fast, attr)
+        assert f == pytest.approx(r, rel=1e-9, abs=1e-6), attr
+
+
+def _trace(rng: np.ndarray, style: int, n: int) -> np.ndarray:
+    base = int(rng.integers(0, 1 << 22))
+    if style == 0:  # unit/strided streams (the common kernel shape)
+        addr = base + np.arange(n) * int(rng.integers(4, 64))
+    elif style == 1:  # random reuse over a small working set
+        addr = base + rng.integers(0, 2000, n) * 8
+    elif style == 2:  # same-line runs (collapse fodder)
+        addr = base + np.repeat(np.arange(n // 4 + 1) * 32, 4)[:n]
+    elif style == 3:  # periodic conflict misses
+        addr = base + (np.arange(n) % int(rng.integers(8, 300))) * 128
+    else:  # uniform random over a large footprint (TLB churn)
+        addr = base + rng.integers(0, 1 << 20, n)
+    return addr.astype(np.int64)
+
+
+class TestRandomTraceParity:
+    """Seeded random event batches straight against MemorySystem."""
+
+    @pytest.mark.parametrize("trial", range(24))
+    def test_randomized_batches_match_reference(self, trial):
+        rng = np.random.default_rng(1000 + trial)
+        machine = MACHINES[ALL_MACHINES[trial % len(ALL_MACHINES)]]
+        writebacks = trial % 3 == 0
+        ref = MemorySystem(machine, model_writebacks=writebacks, reference=True)
+        fast = MemorySystem(machine, model_writebacks=writebacks)
+        for _ in range(int(rng.integers(3, 7))):
+            n = int(rng.integers(50, 2500))
+            addr = _trace(rng, trial % 5, n)
+            kind = rng.choice([0, 0, 0, 1, 2], n).astype(np.int8)
+            if trial % 2:  # per-event issue charges (the fused-loop shape)
+                cpa = rng.uniform(0.1, 2.0, n)
+            else:  # uniform scalar charge
+                cpa = float(rng.uniform(0.2, 1.5))
+            ref.access_vector(addr, kind, cpa)
+            fast.access_vector(addr, kind, cpa)
+            # parity after *every* batch: errors cannot hide by cancelling
+            _assert_state_parity(ref, fast)
+
+    def test_fastpath_actually_collapses_and_batches(self):
+        """Guard against the fast path silently degrading to scalar."""
+        machine = MACHINES["sgi-r10k-mini"]
+        fast = MemorySystem(machine)
+        addr = (np.repeat(np.arange(512) * 32, 4)).astype(np.int64)
+        fast.access_vector(addr, np.zeros(len(addr), dtype=np.int8), 0.5)
+        assert fast.batches == 1
+        assert fast.accesses == len(addr)
+        assert fast.collapsed > len(addr) // 2
+
+
+def _golden_mm(uaj_i: int = 8, uaj_j: int = 2):
+    """The tiled+unrolled+prefetching mm shape the guided search converges
+    to (tests/test_search_golden.py) — the highest-value parity workload."""
+    mm = KERNELS["mm"]()
+    t = tile_nest(
+        mm,
+        [TileSpec("I", "II", 8), TileSpec("K", "KK", 12)],
+        control_order=["II", "KK"],
+        point_order=["I", "J", "K"],
+        check_legality=True,
+        reassociate=True,
+    )
+    t = unroll_and_jam(t, "I", uaj_i, reassociate=True)
+    t = unroll_and_jam(t, "J", uaj_j, reassociate=True)
+    t = scalar_replace(t, "K")
+    t = insert_prefetch(t, "A", 2, "K", line_elems=4)
+    t = insert_prefetch(t, "B", 2, "K", line_elems=4)
+    return t
+
+
+def _kernel_cases():
+    for name in ("mm", "jacobi", "matvec", "stencil2d", "conv2d"):
+        params = {"N": 32} if name != "conv2d" else {"N": 32, "F": 5}
+        yield f"{name}-plain", KERNELS[name](), params
+    yield "mm-golden", _golden_mm(), {"N": 48}
+    yield "mm-golden-4x2", _golden_mm(4, 2), {"N": 48}
+    jacobi = unroll_and_jam(KERNELS["jacobi"](), "J", 4, reassociate=True)
+    yield "jacobi-uaj", jacobi, {"N": 48}
+
+
+_CASES = list(_kernel_cases())
+
+
+class TestKernelExecutionParity:
+    """Whole executions: fast path vs ``execute(..., reference=True)``."""
+
+    @pytest.mark.parametrize(
+        "label,machine_name",
+        [
+            (label, machine)
+            for label, _, _ in _CASES
+            for machine in ("sgi-r10k-mini", "ultrasparc-iie-mini")
+        ],
+    )
+    def test_counters_identical_cycles_bounded(self, label, machine_name):
+        kernel, params = next(
+            (k, p) for case_label, k, p in _CASES if case_label == label
+        )
+        machine = MACHINES[machine_name]
+        ref = execute(kernel, params, machine, reference=True)
+        fast = execute(kernel, params, machine)
+        for attr in (
+            "loads",
+            "stores",
+            "prefetches",
+            "dropped_prefetches",
+            "flops",
+            "loop_iterations",
+            "cache_hits",
+            "cache_misses",
+            "tlb_hits",
+            "tlb_misses",
+        ):
+            assert getattr(fast, attr) == getattr(ref, attr), attr
+        assert fast.cycles == pytest.approx(ref.cycles, rel=CYCLES_RTOL)
+        assert fast.stall_cycles == pytest.approx(
+            ref.stall_cycles, rel=CYCLES_RTOL, abs=1.0
+        )
+
+    @pytest.mark.parametrize("machine_name", ["sgi-r10k", "ultrasparc-iie"])
+    def test_golden_variant_on_full_machines(self, machine_name):
+        """The full (non-mini) hierarchies: bigger caches, different
+        associativities, same contract."""
+        machine = MACHINES[machine_name]
+        kernel = _golden_mm()
+        ref = execute(kernel, {"N": 48}, machine, reference=True)
+        fast = execute(kernel, {"N": 48}, machine)
+        assert fast.cache_hits == ref.cache_hits
+        assert fast.cache_misses == ref.cache_misses
+        assert (fast.tlb_hits, fast.tlb_misses) == (ref.tlb_hits, ref.tlb_misses)
+        assert fast.cycles == pytest.approx(ref.cycles, rel=CYCLES_RTOL)
+
+    def test_reference_flag_reaches_memsys(self):
+        """The baseline really is the scalar path, not fastpath again."""
+        machine = MACHINES["sgi-r10k-mini"]
+        ref = execute(KERNELS["mm"](), {"N": 16}, machine, reference=True)
+        fast = execute(KERNELS["mm"](), {"N": 16}, machine)
+        # the scalar path replays every event, so no pass-2 event stats
+        assert ref.sim_timing_events == 0
+        assert fast.sim_timing_events > 0
+        assert fast.sim_batches > 0
