@@ -15,7 +15,15 @@ Commands:
   search trace (see ``docs/observability.md``);
 * ``bench sim [--quick] [--check]`` — measure simulator throughput
   (``BENCH_sim.json``), optionally gating against the committed floor
-  in ``benchmarks/perf/sim_floor.json`` (see ``docs/simulator.md``).
+  in ``benchmarks/perf/sim_floor.json`` (see ``docs/simulator.md``);
+* ``bench search [--quick] [--check]`` — measure the search scheduler:
+  pipelined-vs-barrier wall clock and the model prescreen's avoided
+  simulations (``BENCH_search.json``, floor
+  ``benchmarks/perf/search_floor.json``; see ``docs/search.md``).
+
+``tune`` prescreens tiling candidates with the analytical model by
+default (simulations the model can rule out are skipped);
+``--no-prescreen`` measures every candidate instead.
 
 ``tune`` and ``experiments`` accept evaluation-engine options:
 ``-j/--jobs N`` fans candidate batches out over N worker processes
@@ -147,6 +155,14 @@ def _parser() -> argparse.ArgumentParser:
     tune.add_argument("--stats", action="store_true",
                       help="print evaluation-engine accounting (cache hits, "
                            "simulations, per-stage wall time)")
+    tune.add_argument("--prescreen", dest="prescreen", action="store_true",
+                      default=True,
+                      help="skip simulating candidates the analytical model "
+                           "bounds clearly worse than the running best "
+                           "(default on; see docs/search.md)")
+    tune.add_argument("--no-prescreen", dest="prescreen", action="store_false",
+                      help="simulate every candidate (the escape hatch when "
+                           "the model is suspected of mispruning)")
     _add_engine_options(tune)
 
     run = sub.add_parser("run", help="simulate the untransformed kernel")
@@ -160,17 +176,19 @@ def _parser() -> argparse.ArgumentParser:
     _add_engine_options(experiments)
 
     bench = sub.add_parser("bench", help="tracked performance benchmarks")
-    bench.add_argument("suite", choices=("sim",),
-                       help="benchmark suite to run (sim: simulator throughput)")
+    bench.add_argument("suite", choices=("sim", "search"),
+                       help="benchmark suite to run (sim: simulator throughput; "
+                            "search: scheduler pipelining + model prescreen)")
     bench.add_argument("--quick", action="store_true",
                        help="smaller sizes, fewer repeats (the CI smoke mode)")
     bench.add_argument("--check", action="store_true",
                        help="exit non-zero on regression vs the committed floor "
-                            "(benchmarks/perf/sim_floor.json)")
+                            "(benchmarks/perf/<suite>_floor.json)")
     bench.add_argument("--floor", default=None, metavar="FILE",
                        help="alternate floor file for --check")
-    bench.add_argument("-o", "--out", default="BENCH_sim.json", metavar="FILE",
-                       help="result file (default BENCH_sim.json)")
+    bench.add_argument("-o", "--out", default=None, metavar="FILE",
+                       help="result file (default BENCH_sim.json / "
+                            "BENCH_search.json by suite)")
 
     trace = sub.add_parser("trace", help="analyze a recorded search trace")
     trace.add_argument("action", choices=("summary", "timeline", "convergence", "chrome"))
@@ -231,8 +249,10 @@ def _cmd_tune(args) -> None:
             Path(checkpoint_dir)
             / f"{args.kernel}-{args.machine}-N{args.size}.json"
         )
+    from repro.core import SearchConfig
+
     optimizer = EcoOptimizer(
-        kernel, machine, engine=engine,
+        kernel, machine, SearchConfig(prescreen=args.prescreen), engine=engine,
         checkpoint_path=checkpoint_path, resume=args.resume,
     )
     tuned = optimizer.optimize(_problem(kernel, args.size))
@@ -277,14 +297,15 @@ def _cmd_run(args) -> None:
 def _cmd_bench(args) -> None:
     from repro import bench
 
-    argv = []
+    argv = [args.suite]
     if args.quick:
         argv.append("--quick")
     if args.check:
         argv.append("--check")
     if args.floor:
         argv += ["--floor", args.floor]
-    argv += ["--out", args.out]
+    if args.out:
+        argv += ["--out", args.out]
     code = bench.main(argv)
     if code:
         raise SystemExit(code)

@@ -21,8 +21,12 @@ from repro.analysis.profitability import (
     most_profitable_refs,
 )
 from repro.analysis.reuse import GroupReuse, RefReuse, ReuseSummary, analyze_reuse
+from repro.analysis.surrogate import DEFAULT_MARGIN, SkipVerdict, Surrogate
 
 __all__ = [
+    "Surrogate",
+    "SkipVerdict",
+    "DEFAULT_MARGIN",
     "Dependence",
     "compute_dependences",
     "permutation_legal",

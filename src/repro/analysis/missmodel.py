@@ -58,7 +58,7 @@ def estimate_misses(
     """Compulsory+capacity miss prediction for the *original* kernel."""
     loops = loop_order(kernel)
     summary = analyze_reuse(kernel, machine.l1.line_size)
-    trip_counts = {var: _trips(kernel, var, params) for var in loops}
+    trip_counts = _trip_counts(kernel, loops, params)
 
     refs: List[Tuple[ArrayRef, int]] = []
     seen: Dict[ArrayRef, int] = {}
@@ -86,10 +86,25 @@ def estimate_misses(
     )
 
 
-def _trips(kernel: Kernel, var: str, params: Mapping[str, int]) -> int:
-    loop = find_loop(kernel.body, var)
-    assert loop is not None
-    return max(0, loop.trip_count(params))
+def _trip_counts(
+    kernel: Kernel, loops: Tuple[str, ...], params: Mapping[str, int]
+) -> Dict[str, int]:
+    """Representative trip count per loop, outermost first.
+
+    Transformed nests reference enclosing control variables in their
+    bounds (a tiled point loop runs ``II .. min(II+TI-1, N-1)``), so each
+    loop is evaluated at the *first* iteration of its enclosing loops — a
+    representative, boundary-free tile.  Untransformed nests have closed
+    bounds, where this reduces to the plain per-loop trip count.
+    """
+    env: Dict[str, int] = dict(params)
+    trips: Dict[str, int] = {}
+    for var in loops:
+        loop = find_loop(kernel.body, var)
+        assert loop is not None
+        trips[var] = max(0, loop.trip_count(env))
+        env[var] = int(loop.lower.evaluate(env))
+    return trips
 
 
 def _ref_misses(

@@ -251,6 +251,9 @@ class AnnealingSearch:
             return math.inf, False
         if self.engine is None:
             self.engine = EvalEngine(self.machine)
+        # Stays a one-point evaluation by design: a Metropolis chain is
+        # inherently sequential (the next proposal depends on this
+        # accept/reject), so there is no independent batch to fan out.
         outcome = self.engine.evaluate(
             self.kernel, variant, values, dict(problem), prefetch
         )

@@ -35,7 +35,7 @@ from repro.core.variants import (
     Variant,
     instantiate,
 )
-from repro.eval import EvalEngine, EvalOutcome
+from repro.eval import EvalEngine, EvalOutcome, EvalRequest
 from repro.ir.expr import Const, Var
 from repro.ir.nest import Kernel
 from repro.kernels import matmul
@@ -133,11 +133,74 @@ class MiniAtlas:
     def _measure_point(
         self, values: Dict[str, int], tuning_n: int, prefetch_distance: int
     ) -> float:
-        key = (tuple(sorted(values.items())), tuning_n, prefetch_distance)
-        if key in self._cache:
-            return self._cache[key]
-        if self.engine is not None:
-            outcome = self._evaluate(values, {"N": tuning_n}, prefetch_distance)
+        return self._measure_grid([(values, tuning_n, prefetch_distance)])[0]
+
+    def _measure_grid(
+        self, points: List[Tuple[Dict[str, int], int, int]]
+    ) -> List[float]:
+        """Cycles for one sweep's candidate points, in input order.
+
+        With a shared engine the whole axis goes to ``evaluate_batch`` in
+        one call: ATLAS's orthogonal sweeps are embarrassingly parallel,
+        and the argmin consumes results in input order, so an engine with
+        workers simulates the axis concurrently without being able to
+        change the selected point.  Per-point accounting (search points,
+        rep-weighted machine seconds, the sweep cache and its
+        transient-failure rule) matches the old point-at-a-time path.
+        """
+        results: List[Optional[float]] = []
+        todo: List[Tuple[int, Tuple, Dict[str, int], int, int]] = []
+        for values, tuning_n, distance in points:
+            key = (tuple(sorted(values.items())), tuning_n, distance)
+            if key in self._cache:
+                results.append(self._cache[key])
+                continue
+            results.append(None)
+            todo.append((len(results) - 1, key, values, tuning_n, distance))
+        if not todo:
+            return [float(r) for r in results]
+        if self.engine is None:
+            for index, key, values, tuning_n, distance in todo:
+                counters = self._run(values, {"N": tuning_n}, distance)
+                self.search_points += 1
+                self.machine_seconds += self.timing_reps * counters.seconds
+                self._cache[key] = counters.cycles
+                results[index] = counters.cycles
+            return [float(r) for r in results]
+        variants: List[Variant] = []
+        requests: List[EvalRequest] = []
+        for _, _, values, tuning_n, distance in todo:
+            variant, prefetch = self._plan({"N": tuning_n}, distance)
+            variants.append(variant)
+            requests.append(
+                EvalRequest.build(
+                    self.kernel, variant, values, {"N": tuning_n}, prefetch
+                )
+            )
+        outcomes = self.engine.evaluate_batch(requests)
+        # ATLAS's no-copy fallback when the copy skeleton cannot be built
+        # at this size — batched the same way.
+        retry = [
+            i
+            for i, (outcome, variant) in enumerate(zip(outcomes, variants))
+            if outcome.status == "infeasible" and variant.name == "atlas-copy"
+        ]
+        if retry:
+            fallbacks = self.engine.evaluate_batch(
+                [
+                    EvalRequest.build(
+                        self.kernel,
+                        _skeleton(False),
+                        todo[i][2],
+                        {"N": todo[i][3]},
+                        self._plan({"N": todo[i][3]}, todo[i][4])[1],
+                    )
+                    for i in retry
+                ]
+            )
+            for i, outcome in zip(retry, fallbacks):
+                outcomes[i] = outcome
+        for (index, key, values, tuning_n, distance), outcome in zip(todo, outcomes):
             self.search_points += 1
             if outcome.counters is not None:
                 self.machine_seconds += self.timing_reps * outcome.counters.seconds
@@ -145,13 +208,8 @@ class MiniAtlas:
                 # A transient failure is re-attemptable: keep it out of the
                 # sweep cache so a revisit measures instead of inheriting inf.
                 self._cache[key] = outcome.cycles
-            return outcome.cycles
-        counters = self._run(values, {"N": tuning_n}, prefetch_distance)
-        cycles = counters.cycles
-        self.search_points += 1
-        self.machine_seconds += self.timing_reps * counters.seconds
-        self._cache[key] = cycles
-        return cycles
+            results[index] = outcome.cycles
+        return [float(r) for r in results]
 
     def _plan(
         self, problem: Mapping[str, int], prefetch_distance: int
@@ -201,19 +259,23 @@ class MiniAtlas:
         values = {"NB": 16, "MU": 4, "NU": 4, "KU": 1}
 
         def sweep_nb() -> None:
+            grid = self._nb_grid(tuning_n)
+            sweep = self._measure_grid(
+                [({**values, "NB": nb}, tuning_n, 0) for nb in grid]
+            )
             best_nb, best = values["NB"], math.inf
-            for nb in self._nb_grid(tuning_n):
-                cycles = self._measure_point({**values, "NB": nb}, tuning_n, 0)
+            for nb, cycles in zip(grid, sweep):
                 if cycles < best:
                     best_nb, best = nb, cycles
             values["NB"] = best_nb
 
         def sweep_registers() -> None:
+            grid = self._register_grid()
+            sweep = self._measure_grid(
+                [({**values, "MU": mu, "NU": nu}, tuning_n, 0) for mu, nu in grid]
+            )
             best_reg, best = (values["MU"], values["NU"]), math.inf
-            for mu, nu in self._register_grid():
-                cycles = self._measure_point(
-                    {**values, "MU": mu, "NU": nu}, tuning_n, 0
-                )
+            for (mu, nu), cycles in zip(grid, sweep):
                 if cycles < best:
                     best_reg, best = (mu, nu), cycles
             values["MU"], values["NU"] = best_reg
@@ -221,19 +283,23 @@ class MiniAtlas:
         sweep_nb()
         sweep_registers()
         # K-unroll axis.
+        sweep = self._measure_grid(
+            [({**values, "KU": ku}, tuning_n, 0) for ku in self._KU_GRID]
+        )
         best_ku, best = values["KU"], math.inf
-        for ku in self._KU_GRID:
-            cycles = self._measure_point({**values, "KU": ku}, tuning_n, 0)
+        for ku, cycles in zip(self._KU_GRID, sweep):
             if cycles < best:
                 best_ku, best = ku, cycles
         values["KU"] = best_ku
         sweep_nb()
         sweep_registers()
-        # Prefetch axis.
-        base = self._measure_point(values, tuning_n, 0)
-        best_distance, best = 0, base
-        for distance in (1, 2, 4, 8):
-            cycles = self._measure_point(values, tuning_n, distance)
+        # Prefetch axis (distance 0 first: the no-prefetch incumbent).
+        distances = (0, 1, 2, 4, 8)
+        sweep = self._measure_grid(
+            [(dict(values), tuning_n, distance) for distance in distances]
+        )
+        best_distance, best = 0, sweep[0]
+        for distance, cycles in zip(distances[1:], sweep[1:]):
             if cycles < best:
                 best_distance, best = distance, cycles
         self._prefetch_distance = best_distance

@@ -35,18 +35,42 @@ workload — the full guided mm search from ``tests/test_search_golden.py``
 from __future__ import annotations
 
 import json
+import os
 import platform
-from typing import Dict, List, Optional
+import time
+from typing import Dict, List, Optional, Tuple
 
 from repro.sim.executor import execute
 
-__all__ = ["run_sim_bench", "check_floor", "FLOOR_SLACK"]
+__all__ = [
+    "run_sim_bench",
+    "run_search_bench",
+    "check_floor",
+    "check_search_floor",
+    "FLOOR_SLACK",
+]
 
 #: a workload fails the CI gate only below ``floor * (1 - FLOOR_SLACK)``
 FLOOR_SLACK = 0.30
 
-#: where the committed floor lives (relative to the repo root)
+#: where the committed floors live (relative to the repo root)
 FLOOR_PATH = "benchmarks/perf/sim_floor.json"
+SEARCH_FLOOR_PATH = "benchmarks/perf/search_floor.json"
+
+
+def _host_context() -> Dict[str, object]:
+    """The host facts a floor's validity depends on.
+
+    Wall-clock gates (parallel speedup) only transfer between hosts with
+    comparable parallel hardware, so both bench payloads and floor files
+    record the host they were measured on; ``--check`` downgrades
+    host-sensitive failures to warnings when the hosts differ.
+    """
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "platform": platform.system().lower(),
+        "python": platform.python_version(),
+    }
 
 #: pre-optimization baseline, recorded once when the fast path landed:
 #: the scalar simulator on the golden-search workload, measured with this
@@ -153,6 +177,7 @@ def run_sim_bench(quick: bool = False) -> Dict[str, object]:
         "quick": quick,
         "repeats": repeats,
         "python": platform.python_version(),
+        "host": _host_context(),
         "methodology": (
             "accesses_per_sec = sim_accesses / sim_seconds at the "
             "whole-execute() boundary, best of N in-process repeats "
@@ -160,6 +185,125 @@ def run_sim_bench(quick: bool = False) -> Dict[str, object]:
         ),
         "workloads": workloads,
         "baseline": baseline,
+    }
+
+
+def _golden_search_once(
+    machine_name: str, jobs: int, pipeline: bool, prescreen: bool
+) -> Tuple[float, object, Dict[str, object]]:
+    """One golden mm search; returns (wall seconds, engine stats, winner)."""
+    from repro.core import EcoOptimizer, SearchConfig
+    from repro.eval import EvalEngine
+    from repro.kernels import matmul
+    from repro.machines import get_machine
+
+    machine = get_machine(machine_name)
+    engine = EvalEngine(machine, jobs=jobs)
+    config = SearchConfig(
+        full_search_variants=2, pipeline=pipeline, prescreen=prescreen
+    )
+    start = time.perf_counter()
+    tuned = EcoOptimizer(matmul(), machine, config, engine=engine).optimize(
+        {"N": 24}
+    )
+    wall = time.perf_counter() - start
+    engine.close()
+    result = tuned.result
+    winner = {
+        "variant": result.variant.name,
+        "values": dict(sorted(result.values.items())),
+        "prefetch": {
+            f"{site.array}@{site.loop}": distance
+            for site, distance in sorted(
+                result.prefetch.items(), key=lambda kv: (kv[0].array, kv[0].loop)
+            )
+        },
+        "pads": dict(sorted(result.pads.items())),
+        "cycles": result.cycles,
+    }
+    return wall, engine.stats, winner
+
+
+def run_search_bench(quick: bool = False, jobs: int = 4) -> Dict[str, object]:
+    """Run the search-scheduler benchmark; returns the BENCH_search payload.
+
+    Two claims are measured on the golden mm search (the workload pinned
+    by tests/test_search_golden.py):
+
+    * **pipelining** — wall clock of the same search under barrier vs
+      pipelined scheduling at ``-j 1`` and ``-j N``.  The winner and every
+      per-point decision are byte-identical across all four legs (the
+      determinism tests pin this), so the comparison is pure scheduling.
+      The speedup number only means something on a host with >= ``jobs``
+      cores — it ships with the host context for exactly that reason;
+    * **prescreen** — simulations run with the model prescreen on vs off,
+      on *all four* machine models, with the tuned winner required to be
+      identical.  These counts are deterministic on any host.
+    """
+    from repro.analysis.surrogate import DEFAULT_MARGIN
+    from repro.machines import MACHINES
+
+    repeats = 1 if quick else 3
+    legs = {
+        "barrier-j1": (1, False),
+        f"barrier-j{jobs}": (jobs, False),
+        "pipelined-j1": (1, True),
+        f"pipelined-j{jobs}": (jobs, True),
+    }
+    _golden_search_once("sgi", 1, True, False)  # warmup
+    wall_seconds: Dict[str, float] = {}
+    sims = 0
+    for label, (leg_jobs, pipeline) in legs.items():
+        best = float("inf")
+        for _ in range(repeats):
+            wall, stats, _ = _golden_search_once("sgi", leg_jobs, pipeline, False)
+            best = min(best, wall)
+        wall_seconds[label] = round(best, 3)
+        sims = stats.simulations
+    speedup = round(
+        wall_seconds[f"barrier-j{jobs}"] / max(1e-9, wall_seconds[f"pipelined-j{jobs}"]),
+        2,
+    )
+
+    per_machine: Dict[str, Dict[str, object]] = {}
+    for name in MACHINES:
+        _, base_stats, base_winner = _golden_search_once(name, 1, True, False)
+        _, pre_stats, pre_winner = _golden_search_once(name, 1, True, True)
+        avoided = 1.0 - pre_stats.simulations / max(1, base_stats.simulations)
+        per_machine[name] = {
+            "sims_base": base_stats.simulations,
+            "sims_prescreen": pre_stats.simulations,
+            "prescreen_skips": pre_stats.prescreen_skips,
+            "avoided_frac": round(avoided, 4),
+            "winner_match": pre_winner == base_winner,
+        }
+    golden = per_machine["sgi-r10k-mini"]
+    return {
+        "schema": 1,
+        "quick": quick,
+        "repeats": repeats,
+        "jobs": jobs,
+        "python": platform.python_version(),
+        "host": _host_context(),
+        "methodology": (
+            "golden mm search (full_search_variants=2, N=24) under each "
+            "scheduling mode, best of N repeats; prescreen legs run at "
+            "-j 1 (their sim counts and winners are deterministic)"
+        ),
+        "search": {
+            "workload": "golden-search-mm@sgi-r10k-mini",
+            "sims": sims,
+            "wall_seconds": wall_seconds,
+            "pipeline_speedup": speedup,
+        },
+        "prescreen": {
+            "margin": DEFAULT_MARGIN,
+            "per_machine": per_machine,
+            "avoided_frac": golden["avoided_frac"],
+            "winner_match": all(
+                row["winner_match"] for row in per_machine.values()
+            ),
+        },
     }
 
 
@@ -188,29 +332,92 @@ def check_floor(results: Dict[str, object],
     return failures
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point for ``repro bench sim`` (also runnable directly)."""
-    import argparse
+def _host_mismatch(floor: Dict[str, object]) -> Optional[str]:
+    """Why this host cannot enforce the floor's host-sensitive gates
+    (``None`` when the floor records no host, or the hosts match)."""
+    recorded = floor.get("host")
+    if not isinstance(recorded, dict):
+        return None
+    current = _host_context()
+    if recorded.get("cpu_count") != current["cpu_count"]:
+        return (
+            f"cpu_count {current['cpu_count']} != floor's "
+            f"{recorded.get('cpu_count')}"
+        )
+    return None
 
-    parser = argparse.ArgumentParser(prog="repro bench sim")
-    parser.add_argument("--quick", action="store_true",
-                        help="smaller sizes, fewer repeats (the CI smoke mode)")
-    parser.add_argument("--check", action="store_true",
-                        help=f"fail if any workload regresses more than "
-                             f"{FLOOR_SLACK:.0%} below {FLOOR_PATH}")
-    parser.add_argument("--floor", default=FLOOR_PATH, metavar="FILE",
-                        help="floor file for --check")
-    parser.add_argument("-o", "--out", default="BENCH_sim.json", metavar="FILE",
-                        help="where to write the results (default BENCH_sim.json)")
-    args = parser.parse_args(argv)
 
+def check_search_floor(
+    results: Dict[str, object], floor: Dict[str, object]
+) -> Tuple[List[str], List[str]]:
+    """Compare a search-bench run against the committed floor.
+
+    Returns ``(failures, warnings)``.  ``hard`` gates (prescreen avoided
+    fraction, winner match) are deterministic — same counts on any host —
+    and always enforced, with no slack.  ``host_sensitive`` gates (the
+    parallel pipeline speedup) get ``FLOOR_SLACK`` and are downgraded to
+    warnings when this host differs from the one the floor was measured
+    on: a 1-core runner cannot exhibit a 4-worker speedup, and failing
+    there would only teach people to ignore the gate.
+    """
+    failures: List[str] = []
+    warnings: List[str] = []
+    mismatch = _host_mismatch(floor)
+    hard = floor.get("hard", {})
+    prescreen = results.get("prescreen", {})
+    min_avoided = hard.get("prescreen_avoided_frac")
+    if min_avoided is not None:
+        avoided = prescreen.get("avoided_frac", 0.0)
+        if avoided < min_avoided:
+            failures.append(
+                f"prescreen avoided {avoided:.1%} of golden-search sims, "
+                f"floor requires >= {min_avoided:.0%}"
+            )
+    if hard.get("prescreen_winner_match") and not prescreen.get("winner_match"):
+        mismatched = [
+            name
+            for name, row in prescreen.get("per_machine", {}).items()
+            if not row.get("winner_match")
+        ] or ["(no per-machine data)"]
+        failures.append(
+            "prescreen changed the tuned winner on: " + ", ".join(mismatched)
+        )
+    min_speedup = floor.get("host_sensitive", {}).get("pipeline_speedup")
+    if min_speedup is not None:
+        actual = results.get("search", {}).get("pipeline_speedup", 0.0)
+        limit = min_speedup * (1 - FLOOR_SLACK)
+        if actual < limit:
+            message = (
+                f"pipeline speedup {actual}x is below {limit:.2f}x "
+                f"(floor {min_speedup}x - {FLOOR_SLACK:.0%} slack)"
+            )
+            if mismatch:
+                warnings.append(
+                    f"{message} — warning only, host differs from the "
+                    f"floor's ({mismatch})"
+                )
+            else:
+                failures.append(message)
+    return failures, warnings
+
+
+def _load_floor(path: str) -> Optional[Dict[str, object]]:
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except FileNotFoundError:
+        return None
+
+
+def _main_sim(args) -> int:
+    floor_path = args.floor or FLOOR_PATH
+    out = args.out or "BENCH_sim.json"
     results = run_sim_bench(quick=args.quick)
-    with open(args.out, "w") as handle:
+    with open(out, "w") as handle:
         json.dump(results, handle, indent=1)
         handle.write("\n")
 
-    golden = results["workloads"]["golden-search-mm@sgi-r10k-mini"]
-    print(f"wrote {args.out}")
+    print(f"wrote {out}")
     for label, row in results["workloads"].items():
         extra = ""
         if "sims_per_sec" in row:
@@ -221,19 +428,89 @@ def main(argv: Optional[List[str]] = None) -> int:
           f"(baseline {results['baseline']['golden_search_accesses_per_sec']:,})")
 
     if args.check:
-        try:
-            with open(args.floor) as handle:
-                floor = json.load(handle)
-        except FileNotFoundError:
-            print(f"floor file {args.floor} not found: nothing to check against")
+        floor = _load_floor(floor_path)
+        if floor is None:
+            print(f"floor file {floor_path} not found: nothing to check against")
             return 1
+        mismatch = _host_mismatch(floor)
+        if mismatch:
+            print(f"PERF WARNING: host differs from the floor's ({mismatch})")
         failures = check_floor(results, floor)
         if failures:
             for failure in failures:
                 print(f"PERF REGRESSION: {failure}")
             return 1
-        print(f"floor check passed ({args.floor})")
+        print(f"floor check passed ({floor_path})")
     return 0
+
+
+def _main_search(args) -> int:
+    floor_path = args.floor or SEARCH_FLOOR_PATH
+    out = args.out or "BENCH_search.json"
+    results = run_search_bench(quick=args.quick)
+    with open(out, "w") as handle:
+        json.dump(results, handle, indent=1)
+        handle.write("\n")
+
+    search = results["search"]
+    prescreen = results["prescreen"]
+    print(f"wrote {out}")
+    walls = ", ".join(
+        f"{label}={seconds:.2f}s" for label, seconds in search["wall_seconds"].items()
+    )
+    print(f"  {search['workload']}: {search['sims']} sims; {walls}")
+    print(f"  pipeline speedup at -j{results['jobs']}: "
+          f"{search['pipeline_speedup']}x "
+          f"(host has {results['host']['cpu_count']} cpus)")
+    print(f"  prescreen (margin {prescreen['margin']}): "
+          f"avoided {prescreen['avoided_frac']:.1%} of golden-search sims, "
+          f"winner match on all machines: {prescreen['winner_match']}")
+    for name, row in prescreen["per_machine"].items():
+        print(f"    {name:22s} sims {row['sims_base']:>3} -> "
+              f"{row['sims_prescreen']:>3}  "
+              f"avoided {row['avoided_frac']:>6.1%}  "
+              f"winner_match={row['winner_match']}")
+
+    if args.check:
+        floor = _load_floor(floor_path)
+        if floor is None:
+            print(f"floor file {floor_path} not found: nothing to check against")
+            return 1
+        failures, warnings = check_search_floor(results, floor)
+        for warning in warnings:
+            print(f"PERF WARNING: {warning}")
+        if failures:
+            for failure in failures:
+                print(f"PERF REGRESSION: {failure}")
+            return 1
+        print(f"floor check passed ({floor_path})")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``repro bench {sim,search}`` (also runnable directly)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(prog="repro bench")
+    parser.add_argument("suite", nargs="?", choices=("sim", "search"),
+                        default="sim",
+                        help="benchmark suite (sim: simulator throughput; "
+                             "search: scheduler pipelining + model prescreen)")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller sizes, fewer repeats (the CI smoke mode)")
+    parser.add_argument("--check", action="store_true",
+                        help=f"fail if any workload regresses more than "
+                             f"{FLOOR_SLACK:.0%} below the committed floor")
+    parser.add_argument("--floor", default=None, metavar="FILE",
+                        help="floor file for --check (default: the suite's "
+                             "committed floor under benchmarks/perf/)")
+    parser.add_argument("-o", "--out", default=None, metavar="FILE",
+                        help="result file (default BENCH_sim.json / "
+                             "BENCH_search.json by suite)")
+    args = parser.parse_args(argv)
+    if args.suite == "search":
+        return _main_search(args)
+    return _main_sim(args)
 
 
 if __name__ == "__main__":

@@ -132,6 +132,11 @@ class EcoOptimizer:
                 "min_tile": self.config.min_tile,
                 "max_unroll": self.config.max_unroll,
                 "search_padding": self.config.search_padding,
+                # prescreen changes which candidates are measured, so it is
+                # trajectory-affecting; pipelining is not (same decisions at
+                # any -j / pipeline mode), so it stays out of the scope.
+                "prescreen": self.config.prescreen,
+                "prescreen_margin": self.config.prescreen_margin,
             },
         }
 

@@ -43,6 +43,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.analysis.surrogate import DEFAULT_MARGIN, Surrogate
 from repro.core.checkpoint import (
     SearchJournal,
     decode_cycles,
@@ -80,6 +81,17 @@ class SearchConfig:
     #: line of leading-dimension padding per array when copying was not
     #: selected, to stabilize conflict-miss pathologies
     search_padding: bool = False
+    #: submit upcoming candidates speculatively through the engine's
+    #: ticket API so simulations overlap candidate generation when the
+    #: engine has workers (``jobs > 1``).  Decisions are identical either
+    #: way: speculative results are consumed only when the driver reaches
+    #: them in its deterministic order, and abandoned otherwise.
+    pipeline: bool = True
+    #: model-based prescreen (docs/search.md): skip simulating tiling
+    #: candidates the surrogate model bounds worse than the stage's
+    #: running best by more than ``prescreen_margin``
+    prescreen: bool = False
+    prescreen_margin: float = DEFAULT_MARGIN
 
 
 @dataclass
@@ -141,6 +153,13 @@ class GuidedSearch:
         self.points = 0
         self.machine_seconds = 0.0
         self.history: List[Tuple[str, Dict[str, int], float]] = []
+        #: outstanding speculative tickets, by search key (pipeline mode)
+        self._tickets: Dict[Tuple, object] = {}
+        self._surrogate: Optional[Surrogate] = (
+            Surrogate(kernel, machine, dict(problem), self.config.prescreen_margin)
+            if self.config.prescreen
+            else None
+        )
 
     # -- measurement ------------------------------------------------------
     def measure(
@@ -150,7 +169,14 @@ class GuidedSearch:
         prefetch: Optional[Mapping[PrefetchSite, int]] = None,
         pads: Optional[Mapping[str, int]] = None,
     ) -> float:
-        """Cycles of one experiment (inf when infeasible); memoized."""
+        """Cycles of one experiment (inf when infeasible); memoized.
+
+        In pipeline mode this consumes through the engine's ticket API —
+        picking up the point's speculative result when one is in flight —
+        with identical accounting; otherwise it is a one-item batch.
+        """
+        if self.config.pipeline:
+            return self._consume(variant, values, prefetch, pads)
         return self.measure_many([(variant, values, prefetch, pads)])[0]
 
     def measure_many(
@@ -231,6 +257,121 @@ class GuidedSearch:
             tuple(sorted((s.array, s.loop, d) for s, d in prefetch.items())),
             tuple(sorted((pads or {}).items())),
         )
+
+    # -- pipelined measurement (tickets + speculation) --------------------
+    def _norm(self, variant, values, prefetch, pads):
+        """Normalize one experiment and decide whether it needs to run."""
+        values = dict(values)
+        prefetch = dict(prefetch or {})
+        pads = {k: v for k, v in (pads or {}).items() if v}
+        key = self._key(variant, values, prefetch, pads)
+        full = {**values, **self.problem}
+        runnable = (
+            key not in self._cache
+            and variant.feasible(full)
+            and all(v >= 1 for v in values.values())
+        )
+        return variant, values, prefetch, pads, key, runnable
+
+    def _consume(self, variant, values, prefetch=None, pads=None) -> float:
+        """Measure one point through submit/resolve (pipeline mode).
+
+        Accounting is byte-identical to the batch path: memoized and
+        model-infeasible points never reach the engine, and everything
+        else resolves here, in the driver's deterministic call order —
+        whether or not its simulation was already speculated.
+        """
+        variant, values, prefetch, pads, key, runnable = self._norm(
+            variant, values, prefetch, pads
+        )
+        if key in self._cache:
+            return self._cache[key]
+        if not runnable:
+            self._cache[key] = math.inf
+            return math.inf
+        ticket = self._tickets.pop(key, None)
+        if ticket is None:
+            ticket = self.engine.submit(
+                EvalRequest.build(
+                    self.kernel, variant, values, self.problem, prefetch, pads
+                )
+            )
+        outcome = self.engine.resolve(ticket)
+        cycles = outcome.cycles
+        if outcome.counters is not None:
+            self._counters[key] = outcome.counters
+            self.machine_seconds += outcome.counters.seconds
+        self.points += 1
+        self.history.append((variant.name, dict(values), cycles))
+        if not outcome.transient:
+            # A transient failure (environment, not candidate) is not
+            # memoized: a later visit should re-attempt the point.
+            self._cache[key] = cycles
+        return cycles
+
+    def _speculate(self, items) -> None:
+        """Start likely-upcoming experiments in the background.
+
+        A no-op outside pipeline mode (and free at ``jobs == 1``, where
+        the engine defers execution to resolve time).  Speculation never
+        touches accounting: a speculated point the driver never consumes
+        is abandoned, and its result — even if it finished — is discarded
+        without reaching the cache, stats or trace.
+        """
+        if not self.config.pipeline:
+            return
+        for variant, values, prefetch, pads in items:
+            variant, values, prefetch, pads, key, runnable = self._norm(
+                variant, values, prefetch, pads
+            )
+            if not runnable or key in self._tickets:
+                continue
+            self._tickets[key] = self.engine.submit(
+                EvalRequest.build(
+                    self.kernel, variant, values, self.problem, prefetch, pads
+                ),
+                speculative=True,
+            )
+
+    def _abandon_pending(self) -> None:
+        """Drop every outstanding speculative ticket (stage boundary or
+        a new running best made the speculated frontier stale)."""
+        while self._tickets:
+            _, ticket = self._tickets.popitem()
+            self.engine.abandon(ticket)
+
+    def _prescreened(
+        self,
+        variant: Variant,
+        candidate: Dict[str, int],
+        best: Dict[str, int],
+    ) -> Optional[float]:
+        """Apply the model prescreen to a tiling candidate.
+
+        Returns the candidate's stand-in cycles (``inf``) when the model
+        skips it, else ``None`` (measure it).  Skips are *not* memoized:
+        the judgement is relative to this stage's running best, and a
+        later stage may revisit the point against a different best.
+        Memoized and model-infeasible points are never prescreened — they
+        cost no simulation, and a memoized result may even beat the best.
+        """
+        verdict = self._judge(variant, candidate, best)
+        if verdict is None:
+            return None
+        self.engine.note_prescreen_skip(
+            variant.name, dict(candidate), verdict.score, verdict.bound
+        )
+        return math.inf
+
+    def _judge(self, variant, candidate, frontier):
+        """The prescreen judgement itself (no accounting): a verdict when
+        the model skips ``candidate`` against ``frontier``, else None."""
+        if self._surrogate is None:
+            return None
+        _, values, _, _, key, runnable = self._norm(variant, candidate, None, None)
+        if key in self._cache or not runnable:
+            return None
+        return self._surrogate.judge(variant, values, frontier)
 
     # -- public entry -------------------------------------------------------
     def run(self, variants: Sequence[Variant]) -> SearchResult:
@@ -475,36 +616,68 @@ class GuidedSearch:
         values = self._linear_refine(variant, values)
         return values
 
+    def _stage_move(
+        self,
+        variant: Variant,
+        best: Dict[str, int],
+        params: Sequence[str],
+        move: Optional[Tuple[str, str]],
+    ) -> Dict[str, int]:
+        """One shape/size candidate from the current best: ``(grow,
+        shrink)`` doubles one parameter and halves another; ``None`` is
+        the size move (halve the whole footprint)."""
+        candidate = dict(best)
+        if move is None:
+            for p in params:
+                candidate[p] = max(1, candidate[p] // 2)
+        else:
+            grow, shrink = move
+            candidate[grow] = candidate[grow] * 2
+            candidate[shrink] = max(1, candidate[shrink] // 2)
+        return self._clamp(variant, candidate)
+
     def _search_stage(
         self, variant: Variant, values: Dict[str, int], params: Sequence[str]
     ) -> Dict[str, int]:
         best = dict(values)
         best_cycles = self.measure(variant, best)
+        # Shape moves (double one parameter, halve another) in a fixed
+        # order, then the size move (halve the whole footprint).
+        moves: List[Optional[Tuple[str, str]]] = [
+            (grow, shrink)
+            for grow in params
+            for shrink in params
+            if grow != shrink
+        ] + [None]
+
+        def speculate_from(index: int, frontier: Dict[str, int]) -> None:
+            self._speculate(
+                (variant, candidate, None, None)
+                for move in moves[index:]
+                for candidate in (self._stage_move(variant, frontier, params, move),)
+                if self._judge(variant, candidate, frontier) is None
+            )
+
         improved_any = True
         while improved_any:
             improved_any = False
-            # Shape moves: double one parameter, halve another.
-            for grow in params:
-                for shrink in params:
-                    if grow == shrink:
-                        continue
-                    candidate = dict(best)
-                    candidate[grow] = candidate[grow] * 2
-                    candidate[shrink] = max(1, candidate[shrink] // 2)
-                    candidate = self._clamp(variant, candidate)
+            index = 0
+            speculate_from(index, best)
+            while index < len(moves):
+                move = moves[index]
+                index += 1
+                candidate = self._stage_move(variant, best, params, move)
+                cycles = self._prescreened(variant, candidate, best)
+                if cycles is None:
                     cycles = self.measure(variant, candidate)
-                    if cycles < best_cycles:
-                        best, best_cycles = candidate, cycles
-                        improved_any = True
-            # Size move: halve the whole footprint.
-            candidate = dict(best)
-            for p in params:
-                candidate[p] = max(1, candidate[p] // 2)
-            candidate = self._clamp(variant, candidate)
-            cycles = self.measure(variant, candidate)
-            if cycles < best_cycles:
-                best, best_cycles = candidate, cycles
-                improved_any = True
+                if cycles < best_cycles:
+                    best, best_cycles = candidate, cycles
+                    improved_any = True
+                    # The speculated frontier assumed the old best:
+                    # re-speculate the remaining moves from the new one.
+                    self._abandon_pending()
+                    speculate_from(index, best)
+        self._abandon_pending()
         return best
 
     def _linear_refine(self, variant: Variant, values: Dict[str, int]) -> Dict[str, int]:
@@ -512,23 +685,51 @@ class GuidedSearch:
         best_cycles = self.measure(variant, best)
         line_elems = max(1, self.machine.l1.line_size // 8)
         unroll_params = {p for _, p in variant.unrolls}
+        moves = [
+            (p, delta)
+            for p in variant.param_names
+            for step in (1 if p in unroll_params else max(line_elems, 4),)
+            for delta in (step, -step)
+        ]
+
+        def refine_move(frontier: Dict[str, int], move) -> Dict[str, int]:
+            p, delta = move
+            candidate = dict(frontier)
+            candidate[p] = candidate[p] + delta
+            candidate = self._clamp(variant, candidate)
+            candidate[p] = self._favor_divisor(candidate[p], delta)
+            return candidate
+
+        def speculate_from(index: int, frontier: Dict[str, int]) -> None:
+            self._speculate(
+                (variant, candidate, None, None)
+                for move in moves[index:]
+                for candidate in (refine_move(frontier, move),)
+                if candidate != frontier
+                and self._judge(variant, candidate, frontier) is None
+            )
+
         for _ in range(self.config.max_linear_rounds):
             improved = False
-            for p in variant.param_names:
-                step = 1 if p in unroll_params else max(line_elems, 4)
-                for delta in (step, -step):
-                    candidate = dict(best)
-                    candidate[p] = candidate[p] + delta
-                    candidate = self._clamp(variant, candidate)
-                    candidate[p] = self._favor_divisor(candidate[p], delta)
-                    if candidate == best:
-                        continue
+            index = 0
+            speculate_from(index, best)
+            while index < len(moves):
+                move = moves[index]
+                index += 1
+                candidate = refine_move(best, move)
+                if candidate == best:
+                    continue
+                cycles = self._prescreened(variant, candidate, best)
+                if cycles is None:
                     cycles = self.measure(variant, candidate)
-                    if cycles < best_cycles:
-                        best, best_cycles = candidate, cycles
-                        improved = True
+                if cycles < best_cycles:
+                    best, best_cycles = candidate, cycles
+                    improved = True
+                    self._abandon_pending()
+                    speculate_from(index, best)
             if not improved:
                 break
+        self._abandon_pending()
         return best
 
     def _favor_divisor(self, value: int, delta: int) -> int:
@@ -549,16 +750,34 @@ class GuidedSearch:
     ) -> Tuple[Dict[str, int], Dict[PrefetchSite, int]]:
         prefetch: Dict[PrefetchSite, int] = {}
         best_cycles = self.measure(variant, values, prefetch)
-        for site in prefetch_sites(self.kernel, variant):
+        sites = list(prefetch_sites(self.kernel, variant))
+        d0 = self.config.prefetch_distances[0]
+
+        def speculate_sites(start: int, current: Dict[PrefetchSite, int]) -> None:
+            # First-distance trials of the remaining sites, assuming the
+            # accepted-prefetch map stays as it is (stale on acceptance).
+            self._speculate(
+                (variant, values, {**current, site: d0}, None)
+                for site in sites[start:]
+            )
+
+        speculate_sites(0, prefetch)
+        for index, site in enumerate(sites):
             if not self._site_effective(variant, values, prefetch, site):
                 continue
+            # The whole distance ladder for this site: the grow loop below
+            # walks it in order, so every speculated trial is on its path.
+            self._speculate(
+                (variant, values, {**prefetch, site: distance}, None)
+                for distance in self.config.prefetch_distances[1:]
+            )
             trial = dict(prefetch)
-            trial[site] = self.config.prefetch_distances[0]
+            trial[site] = d0
             cycles = self.measure(variant, values, trial)
             if cycles >= best_cycles:
                 continue  # no benefit: remove the prefetch (paper rule)
             best_site_cycles = cycles
-            best_distance = self.config.prefetch_distances[0]
+            best_distance = d0
             for distance in self.config.prefetch_distances[1:]:
                 trial[site] = distance
                 cycles = self.measure(variant, values, trial)
@@ -569,6 +788,9 @@ class GuidedSearch:
                     break
             prefetch[site] = best_distance
             best_cycles = best_site_cycles
+            self._abandon_pending()
+            speculate_sites(index + 1, prefetch)
+        self._abandon_pending()
         return values, prefetch
 
     def _site_effective(
@@ -605,6 +827,20 @@ class GuidedSearch:
             return values
         best = dict(values)
         best_cycles = self.measure(variant, best, prefetch)
+        # The doubling chain is the same point sequence wherever it stops
+        # (each accepted candidate's double is the next chain element), so
+        # the whole chain can be speculated up-front.
+        chain: List[Dict[str, int]] = []
+        cursor = dict(best)
+        while True:
+            nxt = dict(cursor)
+            nxt[inner_param] = nxt[inner_param] * 2
+            nxt = self._clamp(variant, nxt)
+            if nxt == cursor:
+                break
+            chain.append(nxt)
+            cursor = nxt
+        self._speculate((variant, c, prefetch, None) for c in chain)
         while True:
             candidate = dict(best)
             candidate[inner_param] = candidate[inner_param] * 2
@@ -616,6 +852,7 @@ class GuidedSearch:
                 best, best_cycles = candidate, cycles
             else:
                 break
+        self._abandon_pending()
         return best
 
     # -- optional padding axis (extension; the paper padded manually) --------
@@ -636,14 +873,24 @@ class GuidedSearch:
         line_elems = max(1, self.machine.l1.line_size // 8)
         pads: Dict[str, int] = {}
         best_cycles = self.measure(variant, values, prefetch, pads)
-        for decl in self.kernel.arrays:
-            if decl.temp:
-                continue
+        decls = [decl for decl in self.kernel.arrays if not decl.temp]
+
+        def speculate_pads(start: int, current: Dict[str, int]) -> None:
+            self._speculate(
+                (variant, values, prefetch, {**current, decl.name: line_elems})
+                for decl in decls[start:]
+            )
+
+        speculate_pads(0, pads)
+        for index, decl in enumerate(decls):
             trial = dict(pads)
             trial[decl.name] = line_elems
             cycles = self.measure(variant, values, prefetch, trial)
             if cycles < best_cycles:
                 pads, best_cycles = trial, cycles
+                self._abandon_pending()
+                speculate_pads(index + 1, pads)
+        self._abandon_pending()
         return pads
 
 

@@ -49,7 +49,12 @@ from __future__ import annotations
 import math
 import sys
 import time
-from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
+from concurrent.futures import (
+    CancelledError,
+    Future,
+    ProcessPoolExecutor,
+    TimeoutError as FutureTimeout,
+)
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -78,6 +83,7 @@ __all__ = [
     "EvalPolicy",
     "EvalRequest",
     "EvalStats",
+    "EvalTicket",
     "StageStats",
 ]
 
@@ -187,12 +193,14 @@ class StageStats:
     wall_seconds: float = 0.0
     simulations: int = 0
     cache_hits: int = 0
+    prescreen_skips: int = 0
 
     def as_dict(self) -> Dict[str, float]:
         return {
             "wall_seconds": self.wall_seconds,
             "simulations": self.simulations,
             "cache_hits": self.cache_hits,
+            "prescreen_skips": self.prescreen_skips,
         }
 
 
@@ -213,6 +221,10 @@ class EvalStats:
     transient_failures: int = 0  # candidates whose retries ran out
     corrupt_results: int = 0  # attempts whose result failed validation
     disk_write_failures: int = 0  # cache entries that failed to persist
+    #: candidates the model prescreen bounded strictly worse than the
+    #: stage's running best, so their simulation was skipped entirely
+    #: (deterministic: a pure function of the candidate and the model)
+    prescreen_skips: int = 0
     #: simulator throughput over the simulations actually run (cache hits
     #: cost no simulator time); sim_seconds is host wall time spent inside
     #: ``execute()``, sim_accesses the memory events those runs processed
@@ -249,6 +261,7 @@ class EvalStats:
             "transient_failures": self.transient_failures,
             "corrupt_results": self.corrupt_results,
             "disk_write_failures": self.disk_write_failures,
+            "prescreen_skips": self.prescreen_skips,
             "sim_seconds": self.sim_seconds,
             "sim_accesses": self.sim_accesses,
             "stages": {name: s.as_dict() for name, s in self.stages.items()},
@@ -338,6 +351,53 @@ def _result_is_corrupt(cycles: float, counters: Optional[Counters]) -> bool:
     return counters is not None and counters.cycles != cycles
 
 
+@dataclass(frozen=True)
+class EvalTicket:
+    """Handle for one submitted candidate (see :meth:`EvalEngine.submit`).
+
+    A ticket is a *promise to account*: nothing is added to the engine's
+    stats, metrics, cache or trace until the ticket is resolved, so the
+    observable record is written in resolution (decision) order — the same
+    order at any job count — while the simulation itself may already be
+    running in a worker.
+    """
+
+    key: str
+    request: EvalRequest
+
+
+@dataclass
+class _Inflight:
+    """Engine-side state of one submitted candidate key.
+
+    One entry exists per distinct candidate key with outstanding tickets,
+    plus parked speculative work (``refs == 0``): results that finished
+    after their ticket was abandoned are held here — *never* published to
+    the result cache — so a later submit of the same key can consume them
+    without re-simulating and without a cache hit appearing where a ``-j
+    1`` run would have simulated.
+    """
+
+    key: str
+    request: EvalRequest
+    payload: Tuple
+    refs: int = 0
+    #: lazy-serial: execution deferred to resolution (jobs == 1, serial
+    #: fallback, or a serial-venue batch) — speculation costs nothing here
+    deferred: bool = False
+    future: Optional[Future] = None
+    #: pool generation the future was submitted on (stale-break detection)
+    generation: int = 0
+    #: submissions so far — gates the deterministic fault plan
+    attempt: int = 0
+    #: failures charged against ``policy.max_retries``
+    strikes: int = 0
+    #: final supervised (status, cycles, counters), once settled
+    result: Optional[Tuple[str, float, Optional[Counters]]] = None
+    #: (source, hit) when the submit-time cache peek found the key
+    cached: Optional[Tuple[str, CachedResult]] = None
+
+
 class EvalEngine:
     """Cached, optionally parallel evaluation of candidates on one machine."""
 
@@ -374,6 +434,18 @@ class EvalEngine:
         #: engine then runs serially for the rest of its lifetime
         self._serial_fallback = False
         self._disk_failures_seen = 0
+        #: in-flight / parked candidate state, by key (submit/resolve API)
+        self._inflight: Dict[str, _Inflight] = {}
+        #: first-seen cache-hit source per key: a disk entry is promoted to
+        #: memory on read, so a speculative peek that is later abandoned
+        #: and re-submitted must keep reporting "disk", exactly as the
+        #: first (deterministic) submission order saw it
+        self._hit_sources: Dict[str, str] = {}
+        #: bumped on every pool teardown (break or recycle): futures from
+        #: an older generation observing BrokenProcessPool are collateral
+        #: of an already-counted break, not a new one
+        self._pool_generation = 0
+        self._max_inflight = 0
 
     # -- public API -----------------------------------------------------
     def evaluate(
@@ -394,7 +466,10 @@ class EvalEngine:
 
         Identical candidates within the batch are simulated once.  Cache
         misses run on the process pool when ``jobs > 1`` (deterministic,
-        input-ordered gather), else serially in-process.
+        input-ordered gather), else serially in-process.  This is a thin
+        wrapper over the :meth:`submit`/:meth:`resolve` scheduler: misses
+        become tickets (dispatched up-front when the pool venue applies)
+        that are settled in first-occurrence order.
         """
         start = time.perf_counter()
         self.stats.batches += 1
@@ -423,11 +498,16 @@ class EvalEngine:
 
         # 2. simulate the misses (supervised: retries, timeouts, pool care)
         if to_run:
-            ctxs = [(self._payload_of(requests[i]), keys[i]) for i in to_run]
-            if self.jobs > 1 and len(ctxs) > 1 and not self._serial_fallback:
-                results = self._run_parallel(ctxs)
-            else:
-                results = [self._run_serial(payload, key) for payload, key in ctxs]
+            pool_venue = (
+                self.jobs > 1 and len(to_run) > 1 and not self._serial_fallback
+            )
+            entries = [
+                self._acquire(requests[i], keys[i], defer=not pool_venue)
+                for i in to_run
+            ]
+            results = [self._settle(entry) for entry in entries]
+            for entry in entries:
+                self._release(entry)
             for i, (status, cycles, counters) in zip(to_run, results):
                 key = keys[i]
                 self.stats.simulations += 1
@@ -454,6 +534,156 @@ class EvalEngine:
         self._record_batch(requests, outcomes)
         return outcomes  # type: ignore[return-value]
 
+    # -- pipelined (futures-style) API ----------------------------------
+    # submit() starts a candidate; resolve() consumes it.  ALL observable
+    # accounting — cache hits, simulations, cache writes, metrics, trace
+    # events — happens at resolve time, in the caller's (deterministic)
+    # decision order, so a pipelined search at -j N produces records that
+    # are byte-identical to -j 1.  Speculative results whose tickets were
+    # abandoned are parked engine-side (never published to the cache):
+    # they can only re-enter the record through a fresh submit + resolve.
+
+    def submit(
+        self,
+        request: EvalRequest,
+        *,
+        speculative: bool = False,
+        defer: Optional[bool] = None,
+    ) -> EvalTicket:
+        """Register a candidate for evaluation and (at ``jobs > 1``)
+        start it on the worker pool immediately.
+
+        At ``jobs == 1`` (or after serial fallback) execution is deferred
+        to :meth:`resolve`, so speculative submissions cost nothing and
+        serial behaviour is unchanged.  ``speculative`` marks work that
+        the caller may abandon; it only affects the pipeline metrics.
+        ``defer`` overrides the venue (used by :meth:`evaluate_batch` to
+        preserve its historical serial-singleton rule).
+        """
+        start = time.perf_counter()
+        key = self._key_of(request)
+        entry = self._inflight.get(key)
+        if entry is None:
+            entry = _Inflight(key=key, request=request,
+                              payload=self._payload_of(request))
+            hit = self.cache.get_memory(key)
+            source = "memory"
+            if hit is None:
+                hit = self.cache.get_disk(key)
+                source = "disk"
+            if hit is not None:
+                # Pin the first-seen source: the peek above promoted a
+                # disk entry to memory, and accounting must not depend on
+                # whether an abandoned speculative peek happened first.
+                source = self._hit_sources.setdefault(key, source)
+                entry.cached = (source, hit)
+            self._inflight[key] = entry
+        entry.refs += 1
+        if defer is None:
+            defer = self.jobs <= 1 or self._serial_fallback
+        if (entry.cached is None and entry.result is None
+                and entry.future is None):
+            if defer:
+                entry.deferred = True
+            else:
+                self._dispatch(entry)
+        if speculative and self.jobs > 1:
+            self.metrics.counter("pipeline.speculative_submits").inc()
+        self.stats.wall_seconds += time.perf_counter() - start
+        return EvalTicket(key=key, request=request)
+
+    def resolve(self, ticket: EvalTicket) -> EvalOutcome:
+        """Consume one ticket: wait for its result (running any deferred
+        or retried work) and write the accounting record."""
+        start = time.perf_counter()
+        entry = self._inflight[ticket.key]
+        if entry.cached is not None:
+            source, hit = entry.cached
+            self._count_hit(source)
+            status = "infeasible" if math.isinf(hit.cycles) else "ok"
+            outcome = EvalOutcome(entry.key, hit.cycles, hit.counters,
+                                  source, status)
+        else:
+            status, cycles, counters = self._settle(entry)
+            self.stats.simulations += 1
+            if self._stage is not None:
+                self._stage.simulations += 1
+            if counters is not None:
+                self.stats.sim_seconds += counters.sim_seconds
+                self.stats.sim_accesses += counters.sim_accesses
+            if status == "transient":
+                self.stats.transient_failures += 1
+            else:
+                if counters is None:
+                    self.stats.failures += 1
+                self.cache.put(entry.key, CachedResult(cycles, counters))
+            self._sync_disk_failures()
+            outcome = EvalOutcome(entry.key, cycles, counters, "sim", status)
+        self._release(entry)
+        self._record_outcome(ticket.request, outcome)
+        self.stats.wall_seconds += time.perf_counter() - start
+        return outcome
+
+    def drain(self, tickets: Sequence[EvalTicket]) -> List[EvalOutcome]:
+        """Resolve tickets in order (the batch-shaped face of resolve)."""
+        return [self.resolve(ticket) for ticket in tickets]
+
+    def abandon(self, ticket: EvalTicket) -> None:
+        """Drop a speculative ticket without consuming its result.
+
+        Unstarted work is cancelled; a result that is already running (or
+        done) is parked on the entry — invisible to every accounting
+        surface — where a later submit of the same key can pick it up.
+        """
+        entry = self._inflight.get(ticket.key)
+        if entry is None:
+            return
+        entry.refs -= 1
+        if entry.refs > 0:
+            return
+        future = entry.future
+        if future is not None:
+            if future.cancel():
+                # Never started: drop entirely — a later submit re-runs
+                # it from attempt 0, exactly as -j 1 would have.
+                entry.future = None
+                del self._inflight[entry.key]
+                self._note_inflight()
+            else:
+                # Running or done: park for possible reuse (its eventual
+                # result is what consumption would compute — the fault
+                # plan is deterministic in (key, attempt)).
+                self.metrics.counter("pipeline.speculative_parked").inc()
+            return
+        if entry.result is not None:
+            # Settled but unconsumed (rare: shared entry whose other
+            # ticket resolved first) — keep for reuse.
+            return
+        # Deferred / cached peek only: nothing ran, drop entirely.
+        del self._inflight[entry.key]
+
+    def note_prescreen_skip(
+        self,
+        variant_name: str,
+        values: Mapping[str, int],
+        score: float,
+        bound: float,
+    ) -> None:
+        """Record a candidate whose simulation the model prescreen skipped
+        (deterministic — part of the canonical trace at every ``-j``)."""
+        self.stats.prescreen_skips += 1
+        if self._stage is not None:
+            self._stage.prescreen_skips += 1
+        self.metrics.counter("eval.prescreen_skips").inc()
+        if self.tracer.enabled:
+            self.tracer.event(
+                "prescreen_skip",
+                variant=variant_name,
+                values=dict(values),
+                score=score,
+                bound=bound,
+            )
+
     def _record_batch(
         self,
         requests: Sequence[EvalRequest],
@@ -468,31 +698,7 @@ class EvalEngine:
         metrics.counter("eval.batches").inc()
         metrics.histogram("eval.batch_size").observe(len(requests))
         for outcome in outcomes:
-            if outcome.source == "sim":
-                metrics.counter("eval.simulations").inc()
-                if outcome.transient:
-                    metrics.counter("eval.transient_failures").inc()
-                elif outcome.counters is not None:
-                    metrics.histogram("eval.candidate_machine_seconds").observe(
-                        outcome.counters.seconds
-                    )
-                    metrics.histogram("eval.candidate_cycles").observe(
-                        outcome.cycles
-                    )
-                    c = outcome.counters
-                    if c.sim_accesses:
-                        metrics.counter("sim.accesses").inc(c.sim_accesses)
-                        metrics.counter("sim.fastpath_collapsed").inc(
-                            c.sim_collapsed
-                        )
-                        if c.sim_batches:
-                            metrics.histogram("sim.batch_size").observe(
-                                c.sim_accesses / c.sim_batches
-                            )
-                else:
-                    metrics.counter("eval.failures").inc()
-            else:
-                metrics.counter(f"eval.cache_hits.{outcome.source}").inc()
+            self._outcome_metrics(outcome)
         if self.stats.evaluations:
             metrics.gauge("eval.hit_ratio").set(
                 round(self.stats.cache_hits / self.stats.evaluations, 6)
@@ -500,37 +706,78 @@ class EvalEngine:
         if not self.tracer.enabled:
             return
         for req, outcome in zip(requests, outcomes):
-            counters = outcome.counters
-            attrs = {
-                "variant": req.variant.name,
-                "values": dict(req.values),
-                "prefetch": {f"{s.array}@{s.loop}": d for s, d in req.prefetch},
-                "pads": dict(req.pads),
-                "problem": dict(req.problem),
-                "source": outcome.source,
-                # null cycles marks an infeasible candidate (inf is not JSON)
-                "cycles": outcome.cycles if outcome.feasible else None,
-            }
+            self._outcome_event(req, outcome)
+
+    def _record_outcome(self, request: EvalRequest, outcome: EvalOutcome) -> None:
+        """Metrics + trace event for one resolved ticket (driver order)."""
+        self._outcome_metrics(outcome)
+        if self.stats.evaluations:
+            self.metrics.gauge("eval.hit_ratio").set(
+                round(self.stats.cache_hits / self.stats.evaluations, 6)
+            )
+        if self.tracer.enabled:
+            self._outcome_event(request, outcome)
+
+    def _outcome_metrics(self, outcome: EvalOutcome) -> None:
+        metrics = self.metrics
+        if outcome.source == "sim":
+            metrics.counter("eval.simulations").inc()
             if outcome.transient:
-                attrs["transient"] = True
-            if counters is not None:
-                attrs["machine_seconds"] = counters.seconds
-                attrs["counters"] = {
-                    "loads": counters.loads,
-                    "l1_misses": counters.l1_misses,
-                    "l2_misses": counters.l2_misses,
-                    "tlb_misses": counters.tlb_misses,
+                metrics.counter("eval.transient_failures").inc()
+            elif outcome.counters is not None:
+                metrics.histogram("eval.candidate_machine_seconds").observe(
+                    outcome.counters.seconds
+                )
+                metrics.histogram("eval.candidate_cycles").observe(
+                    outcome.cycles
+                )
+                c = outcome.counters
+                if c.sim_accesses:
+                    metrics.counter("sim.accesses").inc(c.sim_accesses)
+                    metrics.counter("sim.fastpath_collapsed").inc(
+                        c.sim_collapsed
+                    )
+                    if c.sim_batches:
+                        metrics.histogram("sim.batch_size").observe(
+                            c.sim_accesses / c.sim_batches
+                        )
+            else:
+                metrics.counter("eval.failures").inc()
+        else:
+            metrics.counter(f"eval.cache_hits.{outcome.source}").inc()
+
+    def _outcome_event(self, req: EvalRequest, outcome: EvalOutcome) -> None:
+        counters = outcome.counters
+        attrs = {
+            "variant": req.variant.name,
+            "values": dict(req.values),
+            "prefetch": {f"{s.array}@{s.loop}": d for s, d in req.prefetch},
+            "pads": dict(req.pads),
+            "problem": dict(req.problem),
+            "source": outcome.source,
+            # null cycles marks an infeasible candidate (inf is not JSON)
+            "cycles": outcome.cycles if outcome.feasible else None,
+        }
+        if outcome.transient:
+            attrs["transient"] = True
+        if counters is not None:
+            attrs["machine_seconds"] = counters.seconds
+            attrs["counters"] = {
+                "loads": counters.loads,
+                "l1_misses": counters.l1_misses,
+                "l2_misses": counters.l2_misses,
+                "tlb_misses": counters.tlb_misses,
+            }
+            if counters.sim_accesses:
+                # deterministic fast-path accounting; the host wall
+                # time (sim_seconds) stays out of the trace on purpose
+                attrs["sim"] = {
+                    "accesses": counters.sim_accesses,
+                    "batches": counters.sim_batches,
+                    "collapsed": counters.sim_collapsed,
+                    "timing_events": counters.sim_timing_events,
                 }
-                if counters.sim_accesses:
-                    # deterministic fast-path accounting; the host wall
-                    # time (sim_seconds) stays out of the trace on purpose
-                    attrs["sim"] = {
-                        "accesses": counters.sim_accesses,
-                        "batches": counters.sim_batches,
-                        "collapsed": counters.sim_collapsed,
-                        "timing_events": counters.sim_timing_events,
-                    }
-            self.tracer.event("eval", **attrs)
+        self.tracer.event("eval", **attrs)
 
     @contextmanager
     def stage(self, name: str) -> Iterator[StageStats]:
@@ -542,6 +789,7 @@ class EvalEngine:
         stats = self.stats.stages.setdefault(name, StageStats())
         previous, self._stage = self._stage, stats
         sims_before, hits_before = stats.simulations, stats.cache_hits
+        skips_before = stats.prescreen_skips
         span_cm = span = None
         if self.tracer.enabled:
             span_cm = self.tracer.span("stage", stage=name)
@@ -558,6 +806,9 @@ class EvalEngine:
                 self.metrics.counter(f"stage.{name}.simulations").inc(sims)
             if span_cm is not None:
                 span.set(simulations=sims, cache_hits=hits)
+                skips = stats.prescreen_skips - skips_before
+                if skips:
+                    span.set(prescreen_skips=skips)
                 span_cm.__exit__(*sys.exc_info())
 
     def close(self) -> None:
@@ -671,120 +922,154 @@ class EvalEngine:
             self._backoff(attempt)
             attempt += 1
 
-    def _run_parallel(
-        self, ctxs: List[Tuple[Tuple, str]]
-    ) -> List[Tuple[str, float, Optional[Counters]]]:
-        """A batch on the process pool, gathered in input order.
+    # -- in-flight entry lifecycle --------------------------------------
+    # These are the *raw* scheduling primitives: they run candidates and
+    # park results, but never touch stats/metrics/cache/trace — all of
+    # that belongs to the consumption points (resolve / evaluate_batch),
+    # which call them in deterministic driver order.
 
-        Rounds: every unresolved candidate is submitted, results are
-        collected in input order (so emission stays deterministic), and
-        candidates whose attempt failed transiently go into the next
-        round.  Failure budgets are kept separate on purpose:
+    def _acquire(self, request: EvalRequest, key: str, *,
+                 defer: bool) -> _Inflight:
+        """Get-or-create the in-flight entry for an established cache
+        miss (no cache peek here) and take a reference on it."""
+        entry = self._inflight.get(key)
+        if entry is None:
+            entry = _Inflight(key=key, request=request,
+                              payload=self._payload_of(request))
+            self._inflight[key] = entry
+        entry.refs += 1
+        if entry.result is None and entry.future is None:
+            if defer:
+                entry.deferred = True
+            else:
+                self._dispatch(entry)
+        return entry
 
-        * per-candidate **strikes** (timeouts, transient errors, corrupt
-          results) draw on ``policy.max_retries``;
-        * **pool deaths** draw on ``policy.max_pool_restarts`` — a killed
-          worker takes every in-flight candidate with it and the OS does
-          not say which task was responsible, so charging any candidate's
-          retry budget would let unrelated kills starve it spuriously.
-          The in-flight candidates are simply resubmitted (with a bumped
-          attempt number, so an injected kill fault does not re-fire
-          forever); when the pool breaks more often than the policy
-          tolerates, the engine falls back to serial execution — for this
-          batch and all later ones — rather than fail the search.
+    def _release(self, entry: _Inflight) -> None:
+        entry.refs -= 1
+        if entry.refs <= 0:
+            self._inflight.pop(entry.key, None)
 
-        A timed-out candidate leaves its worker wedged on the abandoned
-        simulation, so the pool is recycled at the end of any round that
-        recorded a timeout (quietly: not a pool *break*).
-        """
-        n = len(ctxs)
-        results: List[Optional[Tuple[str, float, Optional[Counters]]]] = [None] * n
-        attempts = [0] * n  # submissions so far (gates the fault plan)
-        strikes = [0] * n  # failures charged against policy.max_retries
-        unresolved = list(range(n))
-        round_index = 0
-        while unresolved:
-            if self._serial_fallback:
-                for i in unresolved:
-                    payload, key = ctxs[i]
-                    results[i] = self._run_serial(payload, key)
-                break
-            if round_index > 0 and self.policy.backoff_seconds > 0:
-                time.sleep(self.policy.backoff_seconds * (2 ** (round_index - 1)))
+    def _dispatch(self, entry: _Inflight) -> None:
+        """Start (or restart) an entry on the pool; degrade to deferred
+        serial execution if the pool cannot accept work."""
+        while not self._serial_fallback:
             pool = self._ensure_pool()
             try:
-                futures = {
-                    i: pool.submit(
-                        _simulate,
-                        self._attempt_payload(ctxs[i][0], ctxs[i][1], attempts[i], True),
-                    )
-                    for i in unresolved
-                }
+                future = pool.submit(
+                    _simulate,
+                    self._attempt_payload(entry.payload, entry.key,
+                                          entry.attempt, True),
+                )
             except BrokenProcessPool:
                 # Submission itself failed: nothing ran, resubmit as-is.
                 self._handle_pool_break()
-                round_index += 1
                 continue
-            next_round: List[int] = []
-            pool_broke = False
-            timed_out = False
-            for i in unresolved:
-                payload, key = ctxs[i]
-                if pool_broke:
-                    # The pool died while this round was in flight: defer
-                    # everything still unresolved to the next round.  The
-                    # submitted attempt may or may not have run — bump the
-                    # attempt number so a fault that fired is not replayed.
-                    if results[i] is None:
-                        attempts[i] += 1
-                        next_round.append(i)
+            entry.future = future
+            entry.generation = self._pool_generation
+            entry.deferred = False
+            self._note_inflight()
+            return
+        entry.deferred = True
+
+    def _live_inflight(self) -> int:
+        return sum(
+            1 for e in self._inflight.values()
+            if e.future is not None and not e.future.done()
+        )
+
+    def _note_inflight(self) -> None:
+        """Pipeline depth gauges (jobs > 1 paths only, so serial traces
+        never carry pipeline metrics)."""
+        live = self._live_inflight()
+        self.metrics.gauge("pipeline.in_flight").set(live)
+        if live > self._max_inflight:
+            self._max_inflight = live
+            self.metrics.gauge("pipeline.max_in_flight").set(live)
+
+    def _settle(self, entry: _Inflight) -> Tuple[str, float, Optional[Counters]]:
+        """Supervised wait for one entry's result (no accounting).
+
+        The same failure budgets as the old round-based gather apply:
+        per-candidate *strikes* (timeouts, transient errors, corrupt
+        results) draw on ``policy.max_retries``; *pool deaths* draw on
+        ``policy.max_pool_restarts`` — a killed worker takes every
+        in-flight candidate with it and the OS does not say which task
+        was responsible, so pool breaks bump the attempt number (an
+        injected kill fault must not re-fire forever) without charging
+        any candidate's retry budget.  A candidate that timed out while
+        *running* leaves its worker wedged, so the pool is recycled; a
+        future cancelled before starting (queued behind slow work, or
+        swept up in a recycle) is re-dispatched as-is — not a failure of
+        this candidate.
+        """
+        while entry.result is None:
+            if entry.future is None:
+                if entry.deferred or self.jobs <= 1 or self._serial_fallback:
+                    entry.result = self._run_serial(entry.payload, entry.key)
+                    break
+                self._dispatch(entry)
+                continue
+            future = entry.future
+            reason = None
+            result = None
+            timed_out_running = False
+            wait_start = time.perf_counter()
+            try:
+                result = future.result(timeout=self.policy.timeout_seconds)
+            except CancelledError:
+                # Swept up in a pool recycle before starting: free rerun.
+                entry.future = None
+                continue
+            except FutureTimeout:
+                if future.cancel():
+                    # Never started: not a timeout of *this* candidate.
+                    entry.future = None
                     continue
-                future = futures[i]
-                reason = None
-                result = None
-                try:
-                    result = future.result(timeout=self.policy.timeout_seconds)
-                except FutureTimeout:
-                    if future.cancel():
-                        # Never started (queued behind slow work): not a
-                        # timeout of *this* candidate — rerun it as-is.
-                        next_round.append(i)
-                        continue
-                    self._note_timeout()
-                    timed_out = True
-                    reason = "timeout"
-                except InjectedHang:
-                    # The worker's own simulated hang completed before our
-                    # wait expired (e.g. no timeout configured).
-                    self._note_timeout()
-                    reason = "timeout"
-                except BrokenProcessPool:
-                    pool_broke = True
+                self._note_timeout()
+                timed_out_running = True
+                reason = "timeout"
+            except InjectedHang:
+                # The worker's own simulated hang completed before our
+                # wait expired (e.g. no timeout configured).
+                self._note_timeout()
+                reason = "timeout"
+            except BrokenProcessPool:
+                if entry.generation == self._pool_generation:
                     self._handle_pool_break()
-                    self._note_retry(key, attempts[i], "worker_died")
-                    attempts[i] += 1
-                    next_round.append(i)
-                    continue
-                except _TRANSIENT_ERRORS as error:
-                    reason = type(error).__name__
-                if reason is None:
-                    reason, result = self._classify_attempt(result)
-                    if reason is None:
-                        results[i] = result
-                        continue
-                if strikes[i] >= self.policy.max_retries:
-                    results[i] = ("transient", math.inf, None)
-                    continue
-                strikes[i] += 1
-                self._note_retry(key, attempts[i], reason)
-                attempts[i] += 1
-                next_round.append(i)
-            if timed_out and not pool_broke:
+                    self._note_retry(entry.key, entry.attempt, "worker_died")
+                # else: stale break, already handled by another entry's
+                # wait — resubmit quietly (one restart note per break).
+                entry.attempt += 1
+                entry.future = None
+                continue
+            except _TRANSIENT_ERRORS as error:
+                reason = type(error).__name__
+            finally:
+                if self.jobs > 1:
+                    idle = (time.perf_counter() - wait_start) * max(
+                        0, self.jobs - self._live_inflight() - 1
+                    )
+                    if idle > 0:
+                        self.metrics.counter(
+                            "pipeline.idle_slot_seconds"
+                        ).inc(round(idle, 6))
+            if timed_out_running:
                 self._recycle_pool()
-            unresolved = [i for i in next_round if results[i] is None]
-            round_index += 1
-        assert all(r is not None for r in results)
-        return results  # type: ignore[return-value]
+            if reason is None:
+                reason, result = self._classify_attempt(result)
+                if reason is None:
+                    entry.result = result
+                    break
+            if entry.strikes >= self.policy.max_retries:
+                entry.result = ("transient", math.inf, None)
+                break
+            self._note_retry(entry.key, entry.attempt, reason)
+            self._backoff(entry.strikes)
+            entry.strikes += 1
+            entry.attempt += 1
+            entry.future = None
+        return entry.result
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
@@ -800,11 +1085,13 @@ class EvalEngine:
             except Exception:
                 pass
             self._pool = None
+            self._pool_generation += 1
             self.metrics.counter("eval.pool_recycles").inc()
 
     def _handle_pool_break(self) -> None:
         """Tear down a broken pool; restart it or degrade to serial."""
         self.stats.pool_restarts += 1
+        self._pool_generation += 1
         self.metrics.counter("eval.pool_restarts").inc()
         if self._pool is not None:
             try:

@@ -22,6 +22,7 @@ __all__ = [
     "convergence",
     "stage_totals",
     "supervision_totals",
+    "pipeline_totals",
     "span_nodes",
     "trace_meta",
     "SpanNode",
@@ -51,11 +52,27 @@ def canonical(events: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
 
     Two traces of the same search (any ``-j N``) are equal under this
     projection — the determinism contract of :mod:`repro.obs.tracer`.
+    Pipeline metrics (``pipeline.*``) measure scheduling itself — depth,
+    idle slots, speculation — so they exist only when a pool is in use;
+    they are dropped here, and ``seq`` is renumbered over the surviving
+    events so the projection stays comparable across job counts (at
+    ``-j 1`` no pipeline metric is ever registered, so the renumbering
+    is the identity there).
     """
-    return [
-        {k: v for k, v in event.items() if k not in TIMING_FIELDS}
-        for event in events
+    kept = [
+        event for event in events
+        if not (event.get("type") == "metric"
+                and str(event.get("name", "")).startswith("pipeline."))
     ]
+    out = []
+    for index, event in enumerate(kept):
+        projected = {
+            k: v for k, v in event.items() if k not in TIMING_FIELDS
+        }
+        if "seq" in projected:
+            projected["seq"] = index
+        out.append(projected)
+    return out
 
 
 def trace_meta(events: List[Dict[str, Any]]) -> Dict[str, Any]:
@@ -156,6 +173,37 @@ def supervision_totals(events: List[Dict[str, Any]]) -> Dict[str, int]:
     return {
         name: latest[name]
         for name in SUPERVISION_METRICS
+        if latest.get(name)
+    }
+
+
+#: pipeline-scheduling counters (docs/search.md), in reporting order
+PIPELINE_METRICS = (
+    "pipeline.max_in_flight",
+    "pipeline.speculative_submits",
+    "pipeline.speculative_parked",
+    "pipeline.idle_slot_seconds",
+    "eval.prescreen_skips",
+)
+
+
+def pipeline_totals(events: List[Dict[str, Any]]) -> Dict[str, float]:
+    """Non-zero pipeline/prescreen counters from the metric snapshots.
+
+    Same cumulative-snapshot convention as :func:`supervision_totals`.
+    An empty dict means the run never overlapped work (``-j 1`` or
+    barrier scheduling) and skipped nothing via the model prescreen.
+    """
+    latest: Dict[str, float] = {}
+    for event in events:
+        if event.get("type") != "metric":
+            continue
+        name = event.get("name")
+        if name in PIPELINE_METRICS:
+            latest[name] = event.get("attrs", {}).get("value", 0)
+    return {
+        name: latest[name]
+        for name in PIPELINE_METRICS
         if latest.get(name)
     }
 

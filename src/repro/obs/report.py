@@ -10,6 +10,7 @@ from repro.obs.reader import (
     SpanNode,
     convergence,
     eval_events,
+    pipeline_totals,
     span_nodes,
     stage_totals,
     supervision_totals,
@@ -64,6 +65,16 @@ def render_summary(events: List[Dict[str, Any]]) -> str:
             + ", ".join(
                 f"{name.removeprefix('eval.')}={value}"
                 for name, value in recovery.items()
+            )
+        )
+    pipeline = pipeline_totals(events)
+    if pipeline:
+        lines.append(
+            "pipeline: "
+            + ", ".join(
+                f"{name.split('.', 1)[1]}="
+                + (f"{value:.3f}" if isinstance(value, float) else str(value))
+                for name, value in pipeline.items()
             )
         )
     curve = convergence(events)

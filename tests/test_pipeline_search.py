@@ -1,0 +1,316 @@
+"""Pipelined-scheduler and model-prescreen tests (docs/search.md).
+
+The contracts under test (ISSUE 5 acceptance criteria):
+
+* **prescreen safety** — on the golden mm search, enabling the model
+  prescreen skips simulations but never changes the tuned winner, on
+  every machine model;
+* **scheduling is unobservable** — barrier mode (``pipeline=False``,
+  the pre-scheduler behaviour) and pipelined mode find byte-identical
+  results with identical point counts and search history, and a
+  pipelined ``-j 4`` run's canonical trace equals ``-j 1``'s even with
+  the prescreen on (speculation and parallelism never leak into the
+  record);
+* **speculation is crash-safe** — a pipelined ``-j 2`` search killed
+  mid-flight (with speculative work outstanding) resumes from its
+  journal to the byte-identical result of an uninterrupted run;
+* the :class:`~repro.analysis.surrogate.Surrogate` unit contract
+  (margin semantics, memoization, fail-open on unscorable candidates);
+* the ``bench search`` floor check: hard gates fail anywhere, the
+  host-sensitive speedup gate degrades to a warning on foreign hosts.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis import DEFAULT_MARGIN, SkipVerdict, Surrogate
+from repro.bench import FLOOR_SLACK, check_search_floor
+from repro.core import EcoOptimizer, SearchConfig
+from repro.core.derive import derive_variants
+from repro.eval import EvalEngine
+from repro.kernels import matmul
+from repro.machines import MACHINES, get_machine
+from repro.obs import Tracer, canonical
+
+SGI = get_machine("sgi")
+
+
+def _golden_search(machine, *, prescreen=False, pipeline=True, jobs=1,
+                   tracer=None):
+    """The golden mm search (same setup as test_search_golden)."""
+    config = SearchConfig(
+        full_search_variants=2, prescreen=prescreen, pipeline=pipeline
+    )
+    with EvalEngine(machine, jobs=jobs, tracer=tracer) as engine:
+        result = EcoOptimizer(
+            matmul(), machine, config, engine=engine
+        ).optimize({"N": 24}).result
+        if tracer is not None:
+            tracer.snapshot_metrics(engine.metrics)
+    return result, engine
+
+
+def _winner(result):
+    return (
+        result.variant.name,
+        dict(result.values),
+        dict(result.prefetch),
+        dict(result.pads),
+        result.cycles,
+    )
+
+
+class TestPrescreenSafety:
+    """The prescreen skips >0 simulations and never moves the winner."""
+
+    @pytest.mark.parametrize("machine_name", sorted(MACHINES))
+    def test_winner_unchanged_with_prescreen(self, machine_name):
+        machine = get_machine(machine_name)
+        base, base_engine = _golden_search(machine, prescreen=False)
+        pruned, pruned_engine = _golden_search(machine, prescreen=True)
+        assert _winner(pruned) == _winner(base)
+        assert base_engine.stats.prescreen_skips == 0
+        assert pruned_engine.stats.prescreen_skips > 0
+        # every skip is a simulation genuinely avoided
+        assert (
+            pruned_engine.stats.simulations < base_engine.stats.simulations
+        )
+
+    def test_skips_are_excluded_from_points_and_history(self):
+        base, _ = _golden_search(SGI, prescreen=False)
+        pruned, engine = _golden_search(SGI, prescreen=True)
+        # skipped candidates never enter the search record: every history
+        # entry is a point actually measured (points == len(history), both
+        # strictly below the unpruned count), and the record still ends at
+        # the same best.  Inside a losing variant the trajectory may
+        # legitimately differ — the contract is the *winner*, not the path.
+        assert pruned.points < base.points
+        assert len(pruned.history) == pruned.points
+        assert len(base.history) == base.points
+        assert min(e[-1] for e in pruned.history) == min(
+            e[-1] for e in base.history
+        )
+
+
+class TestSchedulingIsUnobservable:
+    def test_barrier_and_pipelined_results_identical(self):
+        barrier, barrier_engine = _golden_search(SGI, pipeline=False)
+        pipelined, pipelined_engine = _golden_search(SGI, pipeline=True)
+        assert _winner(pipelined) == _winner(barrier)
+        assert pipelined.points == barrier.points
+        assert pipelined.history == barrier.history
+        assert (
+            pipelined_engine.stats.simulations
+            == barrier_engine.stats.simulations
+        )
+
+    def test_pipelined_j4_with_prescreen_matches_j1(self):
+        """Canonical traces at -j 1 and -j 4 are identical with the full
+        scheduler engaged (speculation + prescreen): parallel workers and
+        abandoned speculative work never reach the record."""
+        serial_tracer = Tracer(kernel="mm", machine="sgi", size=24)
+        serial, _ = _golden_search(
+            SGI, prescreen=True, jobs=1, tracer=serial_tracer
+        )
+        parallel_tracer = Tracer(kernel="mm", machine="sgi", size=24)
+        parallel, parallel_engine = _golden_search(
+            SGI, prescreen=True, jobs=4, tracer=parallel_tracer
+        )
+        assert _winner(parallel) == _winner(serial)
+        assert canonical(parallel_tracer.events()) == canonical(
+            serial_tracer.events()
+        )
+        # the parallel run really did speculate (it had spare workers)
+        submits = parallel_engine.metrics.counter(
+            "pipeline.speculative_submits"
+        ).value
+        assert submits > 0
+
+
+class Interrupt(Exception):
+    """Stands in for a crash inside an in-process search."""
+
+
+class FuseResolveEngine(EvalEngine):
+    """An engine that dies after a set number of consumed candidates.
+
+    The fuse trips in :meth:`resolve` — the pipelined consumption path —
+    so the crash lands while speculative submissions are still in
+    flight, which is exactly the state a resume must recover from.
+    """
+
+    def __init__(self, *args, fuse: int, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.fuse = fuse
+
+    def resolve(self, ticket):
+        if self.fuse <= 0:
+            raise Interrupt()
+        self.fuse -= 1
+        return super().resolve(ticket)
+
+
+class TestSpeculationIsCrashSafe:
+    CONFIG = SearchConfig(full_search_variants=2)
+
+    def test_kill_mid_speculation_then_resume_matches_clean(self, tmp_path):
+        clean = (
+            EcoOptimizer(matmul(), SGI, self.CONFIG)
+            .optimize({"N": 16}).result
+        )
+        path = tmp_path / "ck.json"
+        # Crash a pipelined -j2 search early (speculative work pending),
+        # then crash it again with a larger fuse until a pass survives:
+        # the final best must be byte-identical wherever the crash landed.
+        fuse = 3
+        for _ in range(20):
+            engine = FuseResolveEngine(SGI, jobs=2, fuse=fuse)
+            with engine:
+                optimizer = EcoOptimizer(
+                    matmul(), SGI, self.CONFIG, engine=engine,
+                    checkpoint_path=path, resume=True,
+                )
+                try:
+                    result = optimizer.optimize({"N": 16}).result
+                    break
+                except Interrupt:
+                    fuse = 30
+        else:
+            pytest.fail("search never completed within the crash budget")
+        assert result.variant.name == clean.variant.name
+        assert result.values == clean.values
+        assert result.prefetch == clean.prefetch
+        assert result.pads == clean.pads
+        assert result.cycles == clean.cycles
+
+
+class TestSurrogate:
+    @pytest.fixture(scope="class")
+    def scored(self):
+        """Two bindings of one variant with strictly different scores."""
+        variants = derive_variants(matmul(), SGI, max_variants=12)
+        for variant in variants:
+            params = [p for _, p in variant.tiles] + [
+                p for _, p in variant.unrolls
+            ]
+            if not params:
+                continue
+            surrogate = Surrogate(matmul(), SGI, {"N": 24}, margin=0.0)
+            seen = {}
+            for size in (2, 4, 8, 16):
+                values = {p: size for _, p in variant.tiles}
+                values.update({p: 2 for _, p in variant.unrolls})
+                score = surrogate.score(variant, values)
+                if score is not None:
+                    seen[score] = values
+            if len(seen) >= 2:
+                ordered = sorted(seen)
+                return (variant, seen[ordered[0]], seen[ordered[-1]],
+                        ordered[0], ordered[-1])
+        pytest.fail("no variant produced two scorable, distinct bindings")
+
+    def test_negative_margin_rejected(self):
+        with pytest.raises(ValueError):
+            Surrogate(matmul(), SGI, {"N": 24}, margin=-0.1)
+
+    def test_score_is_memoized(self, scored):
+        variant, better, _, better_score, _ = scored
+        surrogate = Surrogate(matmul(), SGI, {"N": 24})
+        first = surrogate.score(variant, better)
+        assert first == pytest.approx(better_score)
+        assert surrogate.score(variant, dict(better)) == first
+        assert len(surrogate._scores) == 1
+
+    def test_judge_skips_only_beyond_margin(self, scored):
+        variant, better, worse, better_score, worse_score = scored
+        strict = Surrogate(matmul(), SGI, {"N": 24}, margin=0.0)
+        verdict = strict.judge(variant, worse, best_values=better)
+        assert isinstance(verdict, SkipVerdict)
+        assert verdict.score == pytest.approx(worse_score)
+        assert verdict.bound == pytest.approx(better_score)
+        assert verdict.score > verdict.bound
+        # the better candidate is never skipped against the worse best
+        assert strict.judge(variant, better, best_values=worse) is None
+        # a margin wider than the observed gap keeps the candidate
+        generous = Surrogate(
+            matmul(), SGI, {"N": 24},
+            margin=worse_score / better_score,
+        )
+        assert generous.judge(variant, worse, best_values=better) is None
+        # and the shipped default margin covers its calibration target
+        assert DEFAULT_MARGIN > 0.2726
+
+    def test_unscorable_candidates_are_never_skipped(self, scored, monkeypatch):
+        variant, better, worse, _, _ = scored
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("cannot instantiate")
+
+        monkeypatch.setattr("repro.analysis.surrogate.instantiate", explode)
+        surrogate = Surrogate(matmul(), SGI, {"N": 24}, margin=0.0)
+        assert surrogate.score(variant, worse) is None
+        assert surrogate.judge(variant, worse, best_values=better) is None
+
+
+class TestSearchFloorCheck:
+    @staticmethod
+    def _results(avoided=0.30, winner=True, speedup=2.5):
+        return {
+            "prescreen": {
+                "avoided_frac": avoided,
+                "winner_match": winner,
+                "per_machine": {"sgi-r10k-mini": {"winner_match": winner}},
+            },
+            "search": {"pipeline_speedup": speedup},
+        }
+
+    @staticmethod
+    def _floor(cpu_count):
+        return {
+            "host": {"cpu_count": cpu_count},
+            "hard": {
+                "prescreen_avoided_frac": 0.25,
+                "prescreen_winner_match": True,
+            },
+            "host_sensitive": {"pipeline_speedup": 2.0},
+        }
+
+    def test_passes_above_all_floors(self):
+        floor = self._floor(os.cpu_count() or 1)
+        assert check_search_floor(self._results(), floor) == ([], [])
+
+    def test_low_avoided_fraction_fails_on_any_host(self):
+        floor = self._floor((os.cpu_count() or 1) + 7)  # foreign host
+        failures, warnings = check_search_floor(
+            self._results(avoided=0.10), floor
+        )
+        assert any("avoided" in f for f in failures)
+
+    def test_winner_mismatch_fails_and_names_the_machine(self):
+        floor = self._floor((os.cpu_count() or 1) + 7)
+        failures, _ = check_search_floor(self._results(winner=False), floor)
+        assert any("sgi-r10k-mini" in f for f in failures)
+
+    def test_speedup_shortfall_fails_on_the_measured_host(self):
+        floor = self._floor(os.cpu_count() or 1)
+        failures, warnings = check_search_floor(
+            self._results(speedup=1.0), floor
+        )
+        assert any("speedup" in f for f in failures)
+        assert warnings == []
+        # slack applies: just under the floor but above floor*(1-slack) passes
+        near = 2.0 * (1 - FLOOR_SLACK) + 0.01
+        assert check_search_floor(self._results(speedup=near), floor) == (
+            [], []
+        )
+
+    def test_speedup_shortfall_warns_on_a_foreign_host(self):
+        floor = self._floor((os.cpu_count() or 1) + 7)
+        failures, warnings = check_search_floor(
+            self._results(speedup=1.0), floor
+        )
+        assert failures == []
+        assert any("host differs" in w for w in warnings)

@@ -78,7 +78,7 @@ class TestTracingIsAnObserver:
             "memory_hits", "disk_hits", "cache_hits", "simulations",
             "failures", "batches", "wall_seconds", "stages",
             "retries", "timeouts", "pool_restarts", "transient_failures",
-            "corrupt_results", "disk_write_failures",
+            "corrupt_results", "disk_write_failures", "prescreen_skips",
             "sim_seconds", "sim_accesses",
         }
 
