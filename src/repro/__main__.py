@@ -26,8 +26,12 @@ default (simulations the model can rule out are skipped);
 ``--no-prescreen`` measures every candidate instead.
 
 ``tune`` and ``experiments`` accept evaluation-engine options:
-``-j/--jobs N`` fans candidate batches out over N worker processes
-(results are identical to ``-j 1``, just faster); ``--cache [DIR]``
+``-j/--jobs N`` fans candidate batches out over N workers (results are
+identical to ``-j 1``, just faster); ``--workers threads`` keeps the
+batch in-process and drives it through the cross-candidate batched
+simulator instead of pickling to a process pool (incompatible with
+``--inject-faults``, whose kill faults need a process boundary);
+``--cache [DIR]``
 enables the content-addressed on-disk result cache (default directory
 ``results/cache``), so re-runs skip every previously simulated
 candidate; ``--stats`` prints the measured cache-hit/simulation
@@ -78,7 +82,15 @@ def _fault_plan_arg(text: str):
 def _add_engine_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "-j", "--jobs", type=_positive_int, default=1, metavar="N",
-        help="evaluate candidate batches on N worker processes (default 1)",
+        help="evaluate candidate batches on N workers (default 1)",
+    )
+    parser.add_argument(
+        "--workers", choices=("processes", "threads"), default="processes",
+        help="worker venue for -j: 'processes' isolates candidates in a "
+             "process pool (required for --inject-faults); 'threads' runs "
+             "deferred batches in-process through the cross-candidate "
+             "batched simulator — no pickling, same results (default "
+             "processes)",
     )
     parser.add_argument(
         "--cache", nargs="?", const=_DEFAULT_CACHE_DIR, default=None, metavar="DIR",
@@ -233,6 +245,7 @@ def _cmd_tune(args) -> None:
     engine = EvalEngine(
         machine,
         jobs=args.jobs,
+        workers=args.workers,
         cache=ResultCache(args.cache) if args.cache else None,
         tracer=tracer,
         policy=_engine_policy(args),
@@ -352,6 +365,7 @@ def _cmd_experiments(
     fault_plan=None,
     checkpoint_dir: Optional[str] = None,
     resume: bool = False,
+    workers: str = "processes",
 ) -> None:
     from repro.experiments import fig4, fig5, runner, searchcost, table1, table4
 
@@ -361,6 +375,7 @@ def _cmd_experiments(
         jobs=jobs, cache_dir=cache_dir, trace=trace,
         policy=policy, fault_plan=fault_plan,
         checkpoint_dir=checkpoint_dir, resume=resume,
+        workers=workers,
     )
     for name in names:
         if name == "table1":
@@ -404,7 +419,8 @@ def main(argv: Optional[List[str]] = None) -> None:
             _cmd_experiments(args.names, jobs=args.jobs, cache_dir=args.cache,
                              trace=args.trace, policy=_engine_policy(args),
                              fault_plan=args.inject_faults,
-                             checkpoint_dir=args.checkpoint, resume=args.resume)
+                             checkpoint_dir=args.checkpoint, resume=args.resume,
+                             workers=args.workers)
         elif args.command == "bench":
             _cmd_bench(args)
         elif args.command == "trace":

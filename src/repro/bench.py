@@ -66,8 +66,12 @@ def _host_context() -> Dict[str, object]:
     record the host they were measured on; ``--check`` downgrades
     host-sensitive failures to warnings when the hosts differ.
     """
+    cpu_count = os.cpu_count() or 1
     return {
-        "cpu_count": os.cpu_count() or 1,
+        "cpu_count": cpu_count,
+        #: recorded explicitly: wall-clock parallel-speedup numbers from a
+        #: single-core host are not evidence of anything
+        "single_core": cpu_count == 1,
         "platform": platform.system().lower(),
         "python": platform.python_version(),
     }
@@ -189,7 +193,8 @@ def run_sim_bench(quick: bool = False) -> Dict[str, object]:
 
 
 def _golden_search_once(
-    machine_name: str, jobs: int, pipeline: bool, prescreen: bool
+    machine_name: str, jobs: int, pipeline: bool, prescreen: bool,
+    workers: str = "processes",
 ) -> Tuple[float, object, Dict[str, object]]:
     """One golden mm search; returns (wall seconds, engine stats, winner)."""
     from repro.core import EcoOptimizer, SearchConfig
@@ -198,7 +203,7 @@ def _golden_search_once(
     from repro.machines import get_machine
 
     machine = get_machine(machine_name)
-    engine = EvalEngine(machine, jobs=jobs)
+    engine = EvalEngine(machine, jobs=jobs, workers=workers)
     config = SearchConfig(
         full_search_variants=2, pipeline=pipeline, prescreen=prescreen
     )
@@ -239,31 +244,47 @@ def run_search_bench(quick: bool = False, jobs: int = 4) -> Dict[str, object]:
     * **prescreen** — simulations run with the model prescreen on vs off,
       on *all four* machine models, with the tuned winner required to be
       identical.  These counts are deterministic on any host.
+
+    Every leg also reports **wall-based sims/sec** (``simulations /
+    wall_seconds`` over the whole search, front end included) — the
+    number the batched-simulation + delta-evaluation work moves; the
+    floor gates the best leg's rate.  The ``threads-jN`` leg runs the
+    in-process batched venue (``--workers threads``): same results, no
+    pickling, candidates stacked through the cross-candidate simulator.
     """
     from repro.analysis.surrogate import DEFAULT_MARGIN
     from repro.machines import MACHINES
 
     repeats = 1 if quick else 3
     legs = {
-        "barrier-j1": (1, False),
-        f"barrier-j{jobs}": (jobs, False),
-        "pipelined-j1": (1, True),
-        f"pipelined-j{jobs}": (jobs, True),
+        "barrier-j1": (1, False, "processes"),
+        f"barrier-j{jobs}": (jobs, False, "processes"),
+        "pipelined-j1": (1, True, "processes"),
+        f"pipelined-j{jobs}": (jobs, True, "processes"),
+        f"threads-j{jobs}": (jobs, True, "threads"),
     }
     _golden_search_once("sgi", 1, True, False)  # warmup
     wall_seconds: Dict[str, float] = {}
+    sims_per_sec: Dict[str, int] = {}
     sims = 0
-    for label, (leg_jobs, pipeline) in legs.items():
+    full_sims = delta_sims = 0
+    for label, (leg_jobs, pipeline, workers) in legs.items():
         best = float("inf")
         for _ in range(repeats):
-            wall, stats, _ = _golden_search_once("sgi", leg_jobs, pipeline, False)
+            wall, stats, _ = _golden_search_once(
+                "sgi", leg_jobs, pipeline, False, workers
+            )
             best = min(best, wall)
         wall_seconds[label] = round(best, 3)
+        sims_per_sec[label] = int(stats.simulations / max(1e-9, best))
         sims = stats.simulations
+        full_sims = stats.full_sims
+        delta_sims = stats.delta_sims
     speedup = round(
         wall_seconds[f"barrier-j{jobs}"] / max(1e-9, wall_seconds[f"pipelined-j{jobs}"]),
         2,
     )
+    best_sims_per_sec = max(sims_per_sec.values())
 
     per_machine: Dict[str, Dict[str, object]] = {}
     for name in MACHINES:
@@ -293,7 +314,11 @@ def run_search_bench(quick: bool = False, jobs: int = 4) -> Dict[str, object]:
         "search": {
             "workload": "golden-search-mm@sgi-r10k-mini",
             "sims": sims,
+            "full_sims": full_sims,
+            "delta_sims": delta_sims,
             "wall_seconds": wall_seconds,
+            "sims_per_sec": sims_per_sec,
+            "best_sims_per_sec": best_sims_per_sec,
             "pipeline_speedup": speedup,
         },
         "prescreen": {
@@ -355,14 +380,19 @@ def check_search_floor(
     Returns ``(failures, warnings)``.  ``hard`` gates (prescreen avoided
     fraction, winner match) are deterministic — same counts on any host —
     and always enforced, with no slack.  ``host_sensitive`` gates (the
-    parallel pipeline speedup) get ``FLOOR_SLACK`` and are downgraded to
-    warnings when this host differs from the one the floor was measured
-    on: a 1-core runner cannot exhibit a 4-worker speedup, and failing
-    there would only teach people to ignore the gate.
+    parallel pipeline speedup, the wall-based sims/sec rate) get
+    ``FLOOR_SLACK`` and are downgraded to warnings when this host differs
+    from the one the floor was measured on: a 1-core runner cannot
+    exhibit a 4-worker speedup, and failing there would only teach people
+    to ignore the gate.  A single-core host is *always* treated as
+    mismatched for these gates — even a floor mistakenly recorded with
+    ``cpu_count: 1`` cannot make parallel wall-clock claims enforceable.
     """
     failures: List[str] = []
     warnings: List[str] = []
     mismatch = _host_mismatch(floor)
+    if mismatch is None and _host_context()["cpu_count"] == 1:
+        mismatch = "single-core host (cpu_count 1) cannot exhibit parallel speedup"
     hard = floor.get("hard", {})
     prescreen = results.get("prescreen", {})
     min_avoided = hard.get("prescreen_avoided_frac")
@@ -390,6 +420,23 @@ def check_search_floor(
             message = (
                 f"pipeline speedup {actual}x is below {limit:.2f}x "
                 f"(floor {min_speedup}x - {FLOOR_SLACK:.0%} slack)"
+            )
+            if mismatch:
+                warnings.append(
+                    f"{message} — warning only, host differs from the "
+                    f"floor's ({mismatch})"
+                )
+            else:
+                failures.append(message)
+    min_sims_rate = floor.get("host_sensitive", {}).get("best_sims_per_sec")
+    if min_sims_rate is not None:
+        actual_rate = results.get("search", {}).get("best_sims_per_sec", 0)
+        limit = min_sims_rate * (1 - FLOOR_SLACK)
+        if actual_rate < limit:
+            message = (
+                f"best search rate {actual_rate:,} sims/sec is below "
+                f"{limit:,.0f} (floor {min_sims_rate:,} - "
+                f"{FLOOR_SLACK:.0%} slack)"
             )
             if mismatch:
                 warnings.append(
@@ -458,7 +505,13 @@ def _main_search(args) -> int:
     walls = ", ".join(
         f"{label}={seconds:.2f}s" for label, seconds in search["wall_seconds"].items()
     )
-    print(f"  {search['workload']}: {search['sims']} sims; {walls}")
+    print(f"  {search['workload']}: {search['sims']} sims "
+          f"({search['full_sims']} full + {search['delta_sims']} delta); "
+          f"{walls}")
+    rates = ", ".join(
+        f"{label}={rate:,}/s" for label, rate in search["sims_per_sec"].items()
+    )
+    print(f"  sims/sec (wall): {rates}; best {search['best_sims_per_sec']:,}/s")
     print(f"  pipeline speedup at -j{results['jobs']}: "
           f"{search['pipeline_speedup']}x "
           f"(host has {results['host']['cpu_count']} cpus)")
@@ -476,6 +529,10 @@ def _main_search(args) -> int:
         if floor is None:
             print(f"floor file {floor_path} not found: nothing to check against")
             return 1
+        if results["host"]["single_core"]:
+            print("PERF WARNING: single-core host (cpu_count 1): parallel "
+                  "speedup and sims/sec rates here are not representative; "
+                  "host-sensitive gates are reported as warnings only")
         failures, warnings = check_search_floor(results, floor)
         for warning in warnings:
             print(f"PERF WARNING: {warning}")

@@ -33,8 +33,10 @@ __all__ = [
     "LevelPlan",
     "PrefetchSite",
     "Variant",
+    "apply_prefetch",
     "control_name",
     "instantiate",
+    "instantiate_base",
 ]
 
 
@@ -164,30 +166,22 @@ def control_name(loop: str) -> str:
     return loop + loop
 
 
-def instantiate(
+def instantiate_base(
     kernel: Kernel,
     variant: Variant,
     values: Mapping[str, int],
     machine: Optional[MachineSpec] = None,
-    prefetch: Optional[Mapping[PrefetchSite, int]] = None,
 ) -> Kernel:
-    """Produce executable code for ``variant`` with concrete parameters.
+    """The prefetch-free prefix of :func:`instantiate`.
 
-    Pipeline order (each step's preconditions rely on the previous):
-    permute+tile → copy → unroll-and-jam → scalar replacement → prefetch.
-    Raises ``KeyError`` when a needed parameter is missing from ``values``
-    and ``TransformError`` when the recipe is inapplicable.
-
-    Legality checks run with reassociation permitted: the paper's
-    evaluation compiles with ``roundoff=3`` (Table 3), i.e. floating-point
-    sums may be reordered.  Tiled/interleaved reductions (e.g. blocking
-    both filter loops of a convolution) are therefore allowed; results
-    then match the original to rounding, not bitwise.
+    Runs permute+tile → copy → unroll-and-jam → scalar replacement — every
+    transform that depends on the variant recipe and parameter binding but
+    *not* on prefetch placement or padding.  The result is immutable
+    (frozen IR dataclasses), so candidates that differ only in prefetch
+    distance or pads — same :func:`repro.eval.keys.trace_signature` — can
+    share one base and apply their cheap suffixes independently
+    (:func:`apply_prefetch`, then ``pad_arrays``).
     """
-    line_elems = 4
-    if machine is not None:
-        line_elems = max(1, machine.l1.line_size // 8)
-
     tile_specs = [
         TileSpec(loop, control_name(loop), int(values[param]))
         for loop, param in variant.tiles
@@ -218,14 +212,55 @@ def instantiate(
         if factor > 1:
             result = unroll_and_jam(result, loop, factor, reassociate=True)
 
-    result = scalar_replace(result, variant.register_loop)
+    return scalar_replace(result, variant.register_loop)
 
+
+def apply_prefetch(
+    kernel: Kernel,
+    machine: Optional[MachineSpec] = None,
+    prefetch: Optional[Mapping[PrefetchSite, int]] = None,
+) -> Kernel:
+    """Insert the prefetch placement into an instantiated base kernel
+    (the final step of :func:`instantiate`, split out so delta evaluation
+    can re-run only this suffix on a shared base)."""
+    line_elems = 4
+    if machine is not None:
+        line_elems = max(1, machine.l1.line_size // 8)
+    result = kernel
     for site, distance in (prefetch or {}).items():
         if distance and distance > 0:
             result = insert_prefetch(
                 result, site.array, int(distance), site.loop, line_elems=line_elems
             )
     return result
+
+
+def instantiate(
+    kernel: Kernel,
+    variant: Variant,
+    values: Mapping[str, int],
+    machine: Optional[MachineSpec] = None,
+    prefetch: Optional[Mapping[PrefetchSite, int]] = None,
+) -> Kernel:
+    """Produce executable code for ``variant`` with concrete parameters.
+
+    Pipeline order (each step's preconditions rely on the previous):
+    permute+tile → copy → unroll-and-jam → scalar replacement → prefetch.
+    Raises ``KeyError`` when a needed parameter is missing from ``values``
+    and ``TransformError`` when the recipe is inapplicable.
+
+    Legality checks run with reassociation permitted: the paper's
+    evaluation compiles with ``roundoff=3`` (Table 3), i.e. floating-point
+    sums may be reordered.  Tiled/interleaved reductions (e.g. blocking
+    both filter loops of a convolution) are therefore allowed; results
+    then match the original to rounding, not bitwise.
+
+    Implemented as :func:`instantiate_base` + :func:`apply_prefetch`, the
+    split the evaluation engine's delta path reuses.
+    """
+    return apply_prefetch(
+        instantiate_base(kernel, variant, values, machine), machine, prefetch
+    )
 
 
 def _conflict_pad(dims: Sequence[CopyDim], machine: Optional[MachineSpec]) -> int:

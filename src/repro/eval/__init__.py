@@ -15,7 +15,7 @@ from repro.eval.engine import (
     StageStats,
     stats_delta,
 )
-from repro.eval.keys import candidate_key
+from repro.eval.keys import candidate_key, trace_signature
 
 __all__ = [
     "CachedResult",
@@ -28,4 +28,5 @@ __all__ = [
     "StageStats",
     "stats_delta",
     "candidate_key",
+    "trace_signature",
 ]

@@ -48,7 +48,9 @@ from __future__ import annotations
 
 import math
 import sys
+import threading
 import time
+from collections import OrderedDict
 from concurrent.futures import (
     CancelledError,
     Future,
@@ -58,11 +60,16 @@ from concurrent.futures import (
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
-from repro.core.variants import PrefetchSite, Variant, instantiate
+from repro.core.variants import (
+    PrefetchSite,
+    Variant,
+    apply_prefetch,
+    instantiate_base,
+)
 from repro.eval.cache import CachedResult, ResultCache
-from repro.eval.keys import candidate_key
+from repro.eval.keys import candidate_key, trace_signature
 from repro.faults import (
     FaultPlan,
     InjectedHang,
@@ -72,7 +79,7 @@ from repro.faults import (
 from repro.ir.nest import Kernel
 from repro.machines import MachineSpec
 from repro.obs import NULL_TRACER, MetricsRegistry
-from repro.sim import execute
+from repro.sim import execute, execute_batch
 from repro.sim.counters import Counters
 from repro.transforms import TransformError
 from repro.transforms.padding import pad_arrays
@@ -194,6 +201,11 @@ class StageStats:
     simulations: int = 0
     cache_hits: int = 0
     prescreen_skips: int = 0
+    #: delta split of ``simulations``: full builds vs candidates that
+    #: reused a shared pre-prefetch base (``simulations == full_sims +
+    #: delta_sims`` always)
+    full_sims: int = 0
+    delta_sims: int = 0
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -201,6 +213,8 @@ class StageStats:
             "simulations": self.simulations,
             "cache_hits": self.cache_hits,
             "prescreen_skips": self.prescreen_skips,
+            "full_sims": self.full_sims,
+            "delta_sims": self.delta_sims,
         }
 
 
@@ -230,6 +244,15 @@ class EvalStats:
     #: ``execute()``, sim_accesses the memory events those runs processed
     sim_seconds: float = 0.0
     sim_accesses: int = 0
+    #: delta-evaluation split of ``simulations``: a *delta* simulation's
+    #: trace signature (:func:`repro.eval.keys.trace_signature`) matched a
+    #: previously consumed simulation, so its build shared that
+    #: candidate's pre-prefetch instantiated base and re-ran only the
+    #: prefetch/pad suffix.  Counted at consumption in driver order, so
+    #: the split is identical at every job count and worker mode, and
+    #: ``simulations == full_sims + delta_sims`` is an invariant.
+    full_sims: int = 0
+    delta_sims: int = 0
     stages: Dict[str, StageStats] = field(default_factory=dict)
 
     @property
@@ -264,6 +287,8 @@ class EvalStats:
             "prescreen_skips": self.prescreen_skips,
             "sim_seconds": self.sim_seconds,
             "sim_accesses": self.sim_accesses,
+            "full_sims": self.full_sims,
+            "delta_sims": self.delta_sims,
             "stages": {name: s.as_dict() for name, s in self.stages.items()},
         }
 
@@ -299,6 +324,62 @@ def stats_delta(before: Dict[str, object], after: Dict[str, object]) -> Dict[str
     return out
 
 
+#: process-local cache of pre-prefetch instantiated IR, keyed by trace
+#: signature — candidates differing only in prefetch distance or pads
+#: (the distance-ladder and padding stages of the guided search) share
+#: one tile/copy/unroll/scalar-replace front end and re-run only the
+#: cheap suffix.  IR nodes are frozen dataclasses, so sharing is safe;
+#: the lock covers the threads worker mode.  Pool workers each grow
+#: their own copy, which is exactly what makes their repeat builds cheap.
+_BASE_IR_CAP = 256
+_BASE_IR_CACHE: "OrderedDict[str, Kernel]" = OrderedDict()
+_BASE_IR_LOCK = threading.Lock()
+
+
+def _base_ir(
+    signature: str,
+    kernel: Kernel,
+    variant: Variant,
+    values: Mapping[str, int],
+    machine: MachineSpec,
+) -> Kernel:
+    with _BASE_IR_LOCK:
+        base = _BASE_IR_CACHE.get(signature)
+        if base is not None:
+            _BASE_IR_CACHE.move_to_end(signature)
+            return base
+    base = instantiate_base(kernel, variant, dict(values), machine)
+    with _BASE_IR_LOCK:
+        _BASE_IR_CACHE[signature] = base
+        _BASE_IR_CACHE.move_to_end(signature)
+        while len(_BASE_IR_CACHE) > _BASE_IR_CAP:
+            _BASE_IR_CACHE.popitem(last=False)
+    return base
+
+
+def _build_candidate(
+    kernel: Kernel,
+    variant: Variant,
+    values: Tuple,
+    prefetch: Tuple,
+    pads: Tuple,
+    machine: MachineSpec,
+    signature: str,
+) -> Kernel:
+    """Instantiate one candidate through the shared-base delta path.
+
+    Identical in result to ``instantiate(...) [+ pad_arrays]`` — the base
+    cache only skips re-running a pure function on equal inputs.  Raises
+    exactly what those raise (``TransformError``/``ValueError`` for
+    infeasible points, ``MemoryError`` under pressure).
+    """
+    base = _base_ir(signature, kernel, variant, dict(values), machine)
+    inst = apply_prefetch(base, machine, dict(prefetch))
+    if pads:
+        inst = pad_arrays(inst, dict(pads))
+    return inst
+
+
 def _simulate(payload: Tuple) -> Tuple[str, float, Optional[Counters]]:
     """Worker: instantiate + pad + execute one candidate attempt.
 
@@ -310,7 +391,7 @@ def _simulate(payload: Tuple) -> Tuple[str, float, Optional[Counters]]:
     Injected faults (:class:`repro.faults.FaultPlan`) fire here, inside
     the worker, so chaos tests exercise the real supervision paths.
     """
-    (kernel, variant, values, prefetch, pads, problem, machine,
+    (kernel, variant, values, prefetch, pads, problem, machine, signature,
      key, attempt, fault_plan, in_worker) = payload
     fault = None
     if fault_plan is not None:
@@ -318,9 +399,9 @@ def _simulate(payload: Tuple) -> Tuple[str, float, Optional[Counters]]:
         # or os._exit a pool worker; "corrupt" is applied after the run
         fault = fault_plan.apply(key, attempt, in_worker)
     try:
-        inst = instantiate(kernel, variant, dict(values), machine, dict(prefetch))
-        if pads:
-            inst = pad_arrays(inst, dict(pads))
+        inst = _build_candidate(
+            kernel, variant, values, prefetch, pads, machine, signature
+        )
         counters = execute(inst, dict(problem), machine)
     except (TransformError, ValueError):
         # The binding cannot be built (e.g. a copy that does not divide,
@@ -411,11 +492,31 @@ class EvalEngine:
         metrics: Optional[MetricsRegistry] = None,
         policy: Optional[EvalPolicy] = None,
         fault_plan: Optional[FaultPlan] = None,
+        workers: str = "processes",
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if workers not in ("processes", "threads"):
+            raise ValueError(
+                f"workers must be 'processes' or 'threads', got {workers!r}"
+            )
+        if workers == "threads" and fault_plan is not None:
+            # Kill faults terminate their host process (``os._exit``) and
+            # hang/timeout supervision needs preemptable workers — both
+            # require process isolation.  Refuse loudly instead of letting
+            # a chaos run take the driver down.
+            raise ValueError(
+                "fault injection requires process workers "
+                "(--workers processes); the threads mode shares the "
+                "driver process"
+            )
         self.machine = machine
         self.jobs = jobs
+        #: execution venue for cache misses: "processes" fans out over a
+        #: ProcessPoolExecutor; "threads" keeps everything in-process and
+        #: settles co-deferred candidates through the cross-candidate
+        #: batched simulator (no pickling, no pool dispatch)
+        self.workers = workers
         self.cache = cache if cache is not None else ResultCache(cache_dir)
         self.stats = EvalStats()
         #: span tracer shared by the searches running on this engine; the
@@ -446,6 +547,11 @@ class EvalEngine:
         #: of an already-counted break, not a new one
         self._pool_generation = 0
         self._max_inflight = 0
+        #: trace signatures whose base build has been consumed — the
+        #: engine-side (deterministic, consumption-ordered) view of the
+        #: delta-evaluation split; worker-side caches affect wall time
+        #: only, this set is what full_sims/delta_sims report
+        self._seen_signatures: Set[str] = set()
 
     # -- public API -----------------------------------------------------
     def evaluate(
@@ -499,7 +605,10 @@ class EvalEngine:
         # 2. simulate the misses (supervised: retries, timeouts, pool care)
         if to_run:
             pool_venue = (
-                self.jobs > 1 and len(to_run) > 1 and not self._serial_fallback
+                self.jobs > 1
+                and len(to_run) > 1
+                and not self._serial_fallback
+                and self.workers == "processes"
             )
             entries = [
                 self._acquire(requests[i], keys[i], defer=not pool_venue)
@@ -508,11 +617,11 @@ class EvalEngine:
             results = [self._settle(entry) for entry in entries]
             for entry in entries:
                 self._release(entry)
-            for i, (status, cycles, counters) in zip(to_run, results):
+            for i, entry, (status, cycles, counters) in zip(
+                to_run, entries, results
+            ):
                 key = keys[i]
-                self.stats.simulations += 1
-                if self._stage is not None:
-                    self._stage.simulations += 1
+                self._account_sim(entry.payload[7], counters)
                 if counters is not None:
                     self.stats.sim_seconds += counters.sim_seconds
                     self.stats.sim_accesses += counters.sim_accesses
@@ -580,7 +689,11 @@ class EvalEngine:
             self._inflight[key] = entry
         entry.refs += 1
         if defer is None:
-            defer = self.jobs <= 1 or self._serial_fallback
+            defer = (
+                self.jobs <= 1
+                or self._serial_fallback
+                or self.workers == "threads"
+            )
         if (entry.cached is None and entry.result is None
                 and entry.future is None):
             if defer:
@@ -605,9 +718,7 @@ class EvalEngine:
                                   source, status)
         else:
             status, cycles, counters = self._settle(entry)
-            self.stats.simulations += 1
-            if self._stage is not None:
-                self._stage.simulations += 1
+            self._account_sim(entry.payload[7], counters)
             if counters is not None:
                 self.stats.sim_seconds += counters.sim_seconds
                 self.stats.sim_accesses += counters.sim_accesses
@@ -843,6 +954,11 @@ class EvalEngine:
             req.pads,
             req.problem,
             self.machine,
+            # payload[7]: the delta-evaluation key (prefetch/pads excluded)
+            trace_signature(
+                req.kernel, req.variant, dict(req.values),
+                dict(req.problem), self.machine,
+            ),
         )
 
     def _attempt_payload(self, payload: Tuple, key: str, attempt: int,
@@ -856,6 +972,33 @@ class EvalEngine:
             self.stats.disk_hits += 1
         if self._stage is not None:
             self._stage.cache_hits += 1
+
+    def _account_sim(self, signature: str, counters: Optional[Counters]) -> None:
+        """Consumption-time simulation accounting: total + delta split.
+
+        A simulation is a *delta* when an earlier consumed simulation
+        already built (and cached) the same trace signature's base IR.
+        The signature is recorded only when the attempt produced counters
+        — a point that failed before executing guarantees nothing about
+        what its worker cached, so the next same-signature sim stays
+        conservatively "full".  Consumption order is driver order, making
+        the split byte-identical at every ``-j`` and worker mode.
+        """
+        self.stats.simulations += 1
+        if signature in self._seen_signatures:
+            self.stats.delta_sims += 1
+            self.metrics.counter("eval.delta_sims").inc()
+            if self._stage is not None:
+                self._stage.simulations += 1
+                self._stage.delta_sims += 1
+            return
+        self.stats.full_sims += 1
+        self.metrics.counter("eval.full_sims").inc()
+        if self._stage is not None:
+            self._stage.simulations += 1
+            self._stage.full_sims += 1
+        if counters is not None:
+            self._seen_signatures.add(signature)
 
     # -- supervised execution -------------------------------------------
     # Both paths preserve the determinism guarantee: a candidate's final
@@ -1006,6 +1149,14 @@ class EvalEngine:
         while entry.result is None:
             if entry.future is None:
                 if entry.deferred or self.jobs <= 1 or self._serial_fallback:
+                    if (
+                        self.workers == "threads"
+                        and self.jobs > 1
+                        and not self._serial_fallback
+                    ):
+                        self._settle_group(entry)
+                        if entry.result is not None:
+                            break
                     entry.result = self._run_serial(entry.payload, entry.key)
                     break
                 self._dispatch(entry)
@@ -1070,6 +1221,55 @@ class EvalEngine:
             entry.attempt += 1
             entry.future = None
         return entry.result
+
+    def _settle_group(self, anchor: _Inflight) -> None:
+        """Threads-mode settling: evaluate every co-deferred entry in one
+        cross-candidate batched simulation (:func:`repro.sim.execute_batch`).
+
+        Gathers all in-flight entries with pending deferred work — the
+        anchor plus any outstanding (possibly speculative) submissions —
+        builds them in-process through the shared-base delta path, and
+        replays their streams together.  Record-invariant: settling is
+        raw scheduling (like a pool worker finishing early); every
+        observable side effect still happens at consumption, in driver
+        order.  On ``MemoryError`` the affected entries are simply left
+        unsettled and fall back to :meth:`_run_serial`'s supervised
+        retries.
+        """
+        group = [
+            e for e in self._inflight.values()
+            if e.deferred and e.result is None and e.cached is None
+            and e.future is None
+        ]
+        if anchor not in group:
+            group.append(anchor)
+        runnable: List[Tuple[_Inflight, Kernel]] = []
+        for e in group:
+            (kernel, variant, values, prefetch, pads, problem, machine,
+             signature) = e.payload
+            try:
+                inst = _build_candidate(
+                    kernel, variant, values, prefetch, pads, machine, signature
+                )
+            except (TransformError, ValueError):
+                e.attempt += 1
+                e.result = ("infeasible", math.inf, None)
+                continue
+            except MemoryError:
+                continue  # falls back to supervised serial retries
+            runnable.append((e, inst))
+        if not runnable:
+            return
+        try:
+            results = execute_batch(
+                [(inst, dict(e.payload[5])) for e, inst in runnable],
+                self.machine,
+            )
+        except MemoryError:
+            return  # all fall back to supervised serial retries
+        for (e, _), counters in zip(runnable, results):
+            e.attempt += 1
+            e.result = ("ok", counters.cycles, counters)
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:

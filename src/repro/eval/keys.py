@@ -30,6 +30,7 @@ __all__ = [
     "candidate_key",
     "kernel_fingerprint",
     "machine_fingerprint",
+    "trace_signature",
     "variant_fingerprint",
 ]
 
@@ -102,6 +103,39 @@ def candidate_key(
             (site.array, site.loop, int(d)) for site, d in (prefetch or {}).items()
         ),
         "pads": sorted((k, int(v)) for k, v in (pads or {}).items() if v),
+        "problem": sorted((k, int(v)) for k, v in problem.items()),
+        "machine": machine_fingerprint(machine),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def trace_signature(
+    kernel: Kernel,
+    variant: Variant,
+    values: Mapping[str, int],
+    problem: Mapping[str, int],
+    machine: MachineSpec,
+) -> str:
+    """SHA-256 digest of everything *except* prefetch placement and pads.
+
+    Two candidates share a trace signature iff they differ only in the
+    prefetch/padding axes — exactly the axes applied as cheap suffixes of
+    the build pipeline (prefetch insertion is :func:`instantiate`'s last
+    step, and ``pad_arrays`` runs after it).  The engine keys its shared
+    pre-prefetch instantiated IR by this signature: a later candidate with
+    the same signature is a *delta* of an already-built base, so only the
+    suffix (prefetch insertion, pad, simulation) runs.
+
+    The signature deliberately says nothing about *simulation* reuse:
+    padding and prefetch distance change cache-set mapping and fill
+    timing — that is their entire purpose — so classification always
+    re-runs; what the signature licenses is sharing the front end.
+    """
+    payload = {
+        "kernel": kernel_fingerprint(kernel),
+        "variant": variant_fingerprint(variant),
+        "values": sorted((k, int(v)) for k, v in values.items()),
         "problem": sorted((k, int(v)) for k, v in problem.items()),
         "machine": machine_fingerprint(machine),
     }

@@ -96,6 +96,13 @@ def format_eval_stats(stats: Mapping[str, object]) -> str:
         f"evaluations: {int(sims) + int(hits):,} "
         f"({sims:,} simulated, {hits:,} cached)",
     ]
+    delta = int(stats.get("delta_sims", 0) or 0)
+    if delta:
+        full = int(stats.get("full_sims", 0) or 0)
+        parts.append(
+            f"delta evaluation: {full:,} full + {delta:,} delta sims "
+            f"(prefetch/pad-only candidates reused the transform front end)"
+        )
     failures = stats.get("failures", 0)
     if failures:
         parts.append(f"failed builds: {failures:,}")

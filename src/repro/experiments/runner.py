@@ -46,6 +46,7 @@ _ECO_CACHE: Dict[Tuple[str, str, int], TunedKernel] = {}
 _ATLAS_CACHE: Dict[Tuple[str, int], MiniAtlas] = {}
 _ENGINES: Dict[str, EvalEngine] = {}
 _JOBS: int = 1
+_WORKERS: str = "processes"
 _CACHE_DIR: Optional[str] = None
 _TRACE_PATH: Optional[str] = None
 _TRACER = NULL_TRACER
@@ -64,6 +65,7 @@ def configure(
     fault_plan: Optional[FaultPlan] = None,
     checkpoint_dir: Optional[str] = None,
     resume: bool = False,
+    workers: str = "processes",
 ) -> None:
     """Set evaluation parallelism, the on-disk result-cache directory and
     (optionally) a trace output path.
@@ -80,9 +82,10 @@ def configure(
     tuning run to ``<dir>/<kernel>-<machine>-N<size>.json`` so an
     interrupted run continues with ``resume=True``.
     """
-    global _JOBS, _CACHE_DIR, _TRACE_PATH, _TRACER, _METRICS
+    global _JOBS, _WORKERS, _CACHE_DIR, _TRACE_PATH, _TRACER, _METRICS
     global _POLICY, _FAULT_PLAN, _CHECKPOINT_DIR, _RESUME
     _JOBS = max(1, int(jobs))
+    _WORKERS = workers
     _CACHE_DIR = cache_dir
     _TRACE_PATH = trace
     _TRACER = Tracer(source="experiments", jobs=_JOBS) if trace else NULL_TRACER
@@ -122,6 +125,7 @@ def engine_for(machine_name: str) -> EvalEngine:
         engine = EvalEngine(
             machine,
             jobs=_JOBS,
+            workers=_WORKERS,
             cache=ResultCache(_CACHE_DIR) if _CACHE_DIR else None,
             tracer=_TRACER,
             metrics=_METRICS,

@@ -15,6 +15,7 @@ from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.reader import (
     canonical,
     convergence,
+    delta_totals,
     eval_events,
     load_trace,
     span_nodes,
@@ -49,6 +50,7 @@ __all__ = [
     "convergence",
     "stage_totals",
     "supervision_totals",
+    "delta_totals",
     "span_nodes",
     "trace_meta",
     "render_summary",

@@ -23,6 +23,7 @@ __all__ = [
     "stage_totals",
     "supervision_totals",
     "pipeline_totals",
+    "delta_totals",
     "span_nodes",
     "trace_meta",
     "SpanNode",
@@ -175,6 +176,33 @@ def supervision_totals(events: List[Dict[str, Any]]) -> Dict[str, int]:
         for name in SUPERVISION_METRICS
         if latest.get(name)
     }
+
+
+#: delta-evaluation counters (docs/search.md), in reporting order
+DELTA_METRICS = (
+    "eval.full_sims",
+    "eval.delta_sims",
+)
+
+
+def delta_totals(events: List[Dict[str, Any]]) -> Dict[str, int]:
+    """Full-vs-delta simulation split from the metric snapshots.
+
+    Same cumulative-snapshot convention as :func:`supervision_totals`.
+    ``eval.delta_sims`` counts simulations whose trace signature matched
+    an earlier candidate (prefetch/pad-only delta: the transform front
+    end was shared, only prefetch insertion + padding + simulation ran);
+    ``eval.full_sims`` counts the rest.  Empty when the trace predates
+    delta evaluation or saw no simulations.
+    """
+    latest: Dict[str, int] = {}
+    for event in events:
+        if event.get("type") != "metric":
+            continue
+        name = event.get("name")
+        if name in DELTA_METRICS:
+            latest[name] = event.get("attrs", {}).get("value", 0)
+    return {name: latest[name] for name in DELTA_METRICS if name in latest}
 
 
 #: pipeline-scheduling counters (docs/search.md), in reporting order

@@ -9,6 +9,7 @@ from typing import Any, Dict, List
 from repro.obs.reader import (
     SpanNode,
     convergence,
+    delta_totals,
     eval_events,
     pipeline_totals,
     span_nodes,
@@ -57,6 +58,16 @@ def render_summary(events: List[Dict[str, Any]]) -> str:
         lines.append(
             f"simulator accesses: {sim_acc:,} "
             f"({collapsed:,} collapsed, {timing:,} timing events replayed)"
+        )
+    delta = delta_totals(events)
+    if delta:
+        full = int(delta.get("eval.full_sims", 0))
+        shared = int(delta.get("eval.delta_sims", 0))
+        total = full + shared
+        share = 100.0 * shared / total if total else 0.0
+        lines.append(
+            f"delta evaluation: {full:,} full + {shared:,} delta sims "
+            f"({share:.1f}% shared a transform front end)"
         )
     recovery = supervision_totals(events)
     if recovery:

@@ -10,8 +10,14 @@ model.
 from repro.sim.cache import CacheState
 from repro.sim.counters import Counters
 from repro.sim.cpu import iteration_issue_cycles, spill_penalty
-from repro.sim.executor import ExecutionError, execute
-from repro.sim.memsys import KIND_LOAD, KIND_PREFETCH, KIND_STORE, MemorySystem
+from repro.sim.executor import ExecutionError, execute, execute_batch
+from repro.sim.memsys import (
+    KIND_LOAD,
+    KIND_PREFETCH,
+    KIND_STORE,
+    MemorySystem,
+    access_vector_many,
+)
 from repro.sim.trace import Trace, TraceRecorder, record_trace
 
 __all__ = [
@@ -22,6 +28,8 @@ __all__ = [
     "KIND_STORE",
     "KIND_PREFETCH",
     "execute",
+    "execute_batch",
+    "access_vector_many",
     "ExecutionError",
     "Trace",
     "TraceRecorder",

@@ -1,0 +1,277 @@
+"""Differential parity for cross-candidate batched simulation.
+
+Three implementations of "simulate these candidates" must agree:
+
+* the **reference** scalar path (``MemorySystem(reference=True)`` /
+  ``execute(..., reference=True)``) — the pre-fastpath simulator;
+* the **per-candidate** fast path (``access_vector`` per system,
+  ``execute`` per kernel) — pinned against the reference by
+  ``tests/test_sim_parity.py``;
+* the **batched** cross-candidate path (``access_vector_many`` /
+  ``execute_batch``) — this suite's subject.
+
+The batched path stacks the stateless pass-1 prefix (line extraction,
+collapse masks) of several independent candidates into shared numpy
+calls, then runs the identical per-candidate classification/timing code
+on slices.  Its contract is therefore *stronger* than the fast path's
+reference contract: batched must equal per-candidate **bitwise** — same
+floats, same counts, same LRU state — because both execute the same code
+body on elementwise-identical inputs.  Against the reference it inherits
+the fast path's tolerance (counts byte-identical, cycles within
+``CYCLES_RTOL``).
+
+Layers mirror tests/test_sim_parity.py: seeded random event batches
+straight against ``MemorySystem``, then whole-kernel executions through
+``execute_batch`` including the golden-search mm variants, across all
+four machines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kernels import KERNELS
+from repro.machines import MACHINES
+from repro.sim import executor
+from repro.sim.executor import execute, execute_batch
+from repro.sim.memsys import MemorySystem, access_vector_many
+
+from tests.test_sim_parity import (
+    ALL_MACHINES,
+    CYCLES_RTOL,
+    _assert_state_parity,
+    _golden_mm,
+    _kernel_cases,
+    _trace,
+)
+
+#: counters whose batched values must be byte-identical to per-candidate
+COUNT_ATTRS = (
+    "loads",
+    "stores",
+    "prefetches",
+    "dropped_prefetches",
+    "flops",
+    "useful_flops",
+    "loop_iterations",
+    "cache_hits",
+    "cache_misses",
+    "tlb_hits",
+    "tlb_misses",
+    "sim_accesses",
+    "sim_batches",
+    "sim_collapsed",
+    "sim_timing_events",
+)
+
+
+def _assert_exact_state(a: MemorySystem, b: MemorySystem) -> None:
+    """Bitwise equality: the batched path runs the same code on the same
+    inputs as the per-candidate path, so even the floats must match."""
+    assert b.hit_counts() == a.hit_counts()
+    assert b.miss_counts() == a.miss_counts()
+    for level, (ac, bc) in enumerate(zip(a.caches, b.caches)):
+        assert bc.evictions == ac.evictions, f"L{level + 1} evictions"
+        for aset, bset in zip(ac.sets, bc.sets):
+            assert list(bset.keys()) == list(aset.keys()), f"L{level + 1} LRU"
+            for line in aset:
+                assert bset[line] == aset[line], f"L{level + 1} pending fill"
+    assert (b.tlb_hits, b.tlb_misses) == (a.tlb_hits, a.tlb_misses)
+    for aset, bset in zip(a.tlb_sets, b.tlb_sets):
+        assert list(bset.keys()) == list(aset.keys())
+    assert b.writebacks == a.writebacks
+    assert b._dirty == a._dirty
+    assert b._last_demand_line == a._last_demand_line
+    for attr in ("now", "stall_cycles", "tlb_stall_cycles", "bus_free"):
+        assert getattr(b, attr) == getattr(a, attr), attr
+    for attr in ("accesses", "batches", "collapsed", "timing_events"):
+        assert getattr(b, attr) == getattr(a, attr), attr
+
+
+def _batch_for(rng, trial: int, candidate: int):
+    n = int(rng.integers(50, 1500))
+    addr = _trace(rng, (trial + candidate) % 5, n)
+    kind = rng.choice([0, 0, 0, 1, 2], n).astype(np.int8)
+    if (trial + candidate) % 2:
+        cpa = rng.uniform(0.1, 2.0, n)
+    else:
+        cpa = float(rng.uniform(0.2, 1.5))
+    return addr, kind, cpa
+
+
+class TestRandomTraceBatchedParity:
+    """Seeded random event batches: access_vector_many vs per-candidate
+    access_vector vs the scalar reference, several candidates at once."""
+
+    @pytest.mark.parametrize("trial", range(16))
+    def test_stacked_batches_match_both_paths(self, trial):
+        rng = np.random.default_rng(7000 + trial)
+        machine = MACHINES[ALL_MACHINES[trial % len(ALL_MACHINES)]]
+        writebacks = trial % 3 == 0
+        candidates = int(rng.integers(2, 6))
+        ref = [
+            MemorySystem(machine, model_writebacks=writebacks, reference=True)
+            for _ in range(candidates)
+        ]
+        solo = [
+            MemorySystem(machine, model_writebacks=writebacks)
+            for _ in range(candidates)
+        ]
+        many = [
+            MemorySystem(machine, model_writebacks=writebacks)
+            for _ in range(candidates)
+        ]
+        for _ in range(int(rng.integers(2, 5))):
+            batches = [_batch_for(rng, trial, c) for c in range(candidates)]
+            tasks = []
+            for c, (addr, kind, cpa) in enumerate(batches):
+                ref[c].access_vector(addr, kind, cpa)
+                solo[c].access_vector(addr, kind, cpa)
+                tasks.append((many[c], addr, kind, cpa))
+            access_vector_many(tasks)
+            # parity after *every* round: errors cannot hide by cancelling
+            for c in range(candidates):
+                _assert_exact_state(solo[c], many[c])
+                _assert_state_parity(ref[c], many[c])
+
+    def test_mixed_reference_and_fast_systems(self):
+        """Reference systems inside one access_vector_many call replay
+        through their own scalar path; fast systems still stack."""
+        machine = MACHINES["sgi-r10k-mini"]
+        rng = np.random.default_rng(42)
+        addr_a = _trace(rng, 0, 400)
+        addr_b = _trace(rng, 3, 400)
+        kinds = np.zeros(400, dtype=np.int8)
+        ref_in_many = MemorySystem(machine, reference=True)
+        fast_in_many = MemorySystem(machine)
+        access_vector_many(
+            [(ref_in_many, addr_a, kinds, 0.5), (fast_in_many, addr_b, kinds, 0.5)]
+        )
+        ref_solo = MemorySystem(machine, reference=True)
+        ref_solo.access_vector(addr_a, kinds, 0.5)
+        fast_solo = MemorySystem(machine)
+        fast_solo.access_vector(addr_b, kinds, 0.5)
+        _assert_exact_state(ref_solo, ref_in_many)
+        _assert_exact_state(fast_solo, fast_in_many)
+
+    def test_empty_and_singleton_tasks(self):
+        machine = MACHINES["sgi-r10k-mini"]
+        access_vector_many([])  # no-op
+        ms = MemorySystem(machine)
+        empty = np.empty(0, dtype=np.int64)
+        access_vector_many([(ms, empty, empty.astype(np.int8), 1.0)])
+        assert ms.accesses == 0 and ms.batches == 0
+        addr = (np.arange(256) * 8).astype(np.int64)
+        access_vector_many([(ms, addr, np.zeros(256, dtype=np.int8), 0.5)])
+        solo = MemorySystem(machine)
+        solo.access_vector(addr, np.zeros(256, dtype=np.int8), 0.5)
+        _assert_exact_state(solo, ms)
+
+    def test_collapse_state_carries_across_stacked_rounds(self):
+        """Each system's _last_demand_line seeds its slice boundary, so a
+        same-line run spanning two access_vector_many rounds still
+        collapses — exactly as in back-to-back access_vector calls."""
+        machine = MACHINES["sgi-r10k-mini"]
+        line = np.full(64, 4096, dtype=np.int64)  # one line, over and over
+        kinds = np.zeros(64, dtype=np.int8)
+        many = MemorySystem(machine)
+        solo = MemorySystem(machine)
+        other = MemorySystem(machine)
+        scratch = (np.arange(64) * 512).astype(np.int64)
+        for _ in range(3):
+            access_vector_many([(many, line, kinds, 0.5), (other, scratch, kinds, 0.5)])
+            solo.access_vector(line, kinds, 0.5)
+        _assert_exact_state(solo, many)
+        assert many.collapsed == solo.collapsed > 0
+
+    def test_mixed_line_bits_fall_back_per_candidate(self):
+        """Systems with different L1 line sizes cannot share one shifted
+        line array; the batched entry degrades to per-candidate calls.
+        All shipped machines use 32-byte L1 lines, so widen one."""
+        import dataclasses
+
+        sgi = MACHINES["sgi-r10k-mini"]
+        wide_l1 = dataclasses.replace(sgi.caches[0], line_size=64)
+        sun = dataclasses.replace(
+            sgi, name="sgi-wide-line", caches=(wide_l1,) + sgi.caches[1:]
+        )
+        assert sgi.caches[0].line_size != sun.caches[0].line_size
+        rng = np.random.default_rng(3)
+        addr = _trace(rng, 1, 600)
+        kinds = rng.choice([0, 0, 1, 2], 600).astype(np.int8)
+        mixed = [MemorySystem(sgi), MemorySystem(sun)]
+        access_vector_many([(mixed[0], addr, kinds, 0.5), (mixed[1], addr, kinds, 0.5)])
+        for machine, ms in zip((sgi, sun), mixed):
+            solo = MemorySystem(machine)
+            solo.access_vector(addr, kinds, 0.5)
+            _assert_exact_state(solo, ms)
+
+
+_CASES = list(_kernel_cases())
+
+
+class TestExecuteBatchParity:
+    """Whole kernels: execute_batch vs per-candidate execute (bitwise)
+    vs the scalar reference (CYCLES_RTOL)."""
+
+    @pytest.mark.parametrize("machine_name", ALL_MACHINES)
+    def test_kernel_set_matches_execute_bitwise(self, machine_name):
+        machine = MACHINES[machine_name]
+        tasks = [(kernel, params) for _, kernel, params in _CASES]
+        batch = execute_batch(tasks, machine)
+        assert len(batch) == len(tasks)
+        for (kernel, params), got in zip(tasks, batch):
+            want = execute(kernel, params, machine)
+            for attr in COUNT_ATTRS:
+                assert getattr(got, attr) == getattr(want, attr), attr
+            # same code on the same event stream: floats match bitwise
+            assert got.cycles == want.cycles
+            assert got.stall_cycles == want.stall_cycles
+            assert got.tlb_stall_cycles == want.tlb_stall_cycles
+
+    @pytest.mark.parametrize("machine_name", ("sgi-r10k-mini", "ultrasparc-iie-mini"))
+    def test_kernel_set_matches_reference(self, machine_name):
+        machine = MACHINES[machine_name]
+        tasks = [(kernel, params) for _, kernel, params in _CASES]
+        batch = execute_batch(tasks, machine)
+        for (kernel, params), got in zip(tasks, batch):
+            ref = execute(kernel, params, machine, reference=True)
+            assert got.cache_hits == ref.cache_hits
+            assert got.cache_misses == ref.cache_misses
+            assert (got.tlb_hits, got.tlb_misses) == (ref.tlb_hits, ref.tlb_misses)
+            assert got.cycles == pytest.approx(ref.cycles, rel=CYCLES_RTOL)
+
+    def test_prefetch_ladder_batch(self):
+        """The delta-evaluation shape: one base, several prefetch
+        distances, all simulated in one stacked batch."""
+        machine = MACHINES["sgi-r10k"]
+        tasks = [(_golden_mm(), {"N": 48}), (_golden_mm(4, 2), {"N": 48})]
+        batch = execute_batch(tasks, machine)
+        for (kernel, params), got in zip(tasks, batch):
+            want = execute(kernel, params, machine)
+            assert got.cycles == want.cycles
+            assert got.cache_misses == want.cache_misses
+
+    def test_empty_batch(self):
+        assert execute_batch([], MACHINES["sgi-r10k-mini"]) == []
+
+    def test_capture_overflow_falls_back_to_execute(self, monkeypatch):
+        """Candidates whose event stream exceeds the capture cap are
+        simulated immediately (unbatched) with identical results."""
+        monkeypatch.setattr(executor, "_MAX_CAPTURE_ENTRIES", 100)
+        machine = MACHINES["sgi-r10k-mini"]
+        tasks = [(kernel, params) for _, kernel, params in _CASES[:3]]
+        batch = execute_batch(tasks, machine)
+        for (kernel, params), got in zip(tasks, batch):
+            want = execute(kernel, params, machine)
+            assert got.cycles == want.cycles
+            assert got.cache_hits == want.cache_hits
+            assert got.cache_misses == want.cache_misses
+
+    def test_sim_seconds_apportioned(self):
+        machine = MACHINES["sgi-r10k-mini"]
+        tasks = [(kernel, params) for _, kernel, params in _CASES[:2]]
+        batch = execute_batch(tasks, machine)
+        for counters in batch:
+            assert counters.sim_seconds > 0.0

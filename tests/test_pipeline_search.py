@@ -14,6 +14,11 @@ The contracts under test (ISSUE 5 acceptance criteria):
 * **speculation is crash-safe** — a pipelined ``-j 2`` search killed
   mid-flight (with speculative work outstanding) resumes from its
   journal to the byte-identical result of an uninterrupted run;
+* **the worker venue is unobservable** (ISSUE 6) — ``workers="threads"``
+  at ``-j 4`` produces the same winner, canonical trace, full/delta
+  simulation split and crash/resume behaviour as serial and
+  process-pool runs, and refuses fault injection (kill faults need a
+  process boundary);
 * the :class:`~repro.analysis.surrogate.Surrogate` unit contract
   (margin semantics, memoization, fail-open on unscorable candidates);
 * the ``bench search`` floor check: hard gates fail anywhere, the
@@ -39,12 +44,13 @@ SGI = get_machine("sgi")
 
 
 def _golden_search(machine, *, prescreen=False, pipeline=True, jobs=1,
-                   tracer=None):
+                   tracer=None, workers="processes"):
     """The golden mm search (same setup as test_search_golden)."""
     config = SearchConfig(
         full_search_variants=2, prescreen=prescreen, pipeline=pipeline
     )
-    with EvalEngine(machine, jobs=jobs, tracer=tracer) as engine:
+    with EvalEngine(machine, jobs=jobs, tracer=tracer,
+                    workers=workers) as engine:
         result = EcoOptimizer(
             matmul(), machine, config, engine=engine
         ).optimize({"N": 24}).result
@@ -130,6 +136,62 @@ class TestSchedulingIsUnobservable:
         assert submits > 0
 
 
+class TestThreadsWorkerVenue:
+    """``workers="threads"`` (ISSUE 6): deferred batches settle in-process
+    through the cross-candidate batched simulator.  The venue must be as
+    unobservable as the scheduler: identical winners, identical canonical
+    traces, identical simulation counts — against both serial and
+    process-pool runs."""
+
+    def test_threads_j4_trace_matches_processes(self):
+        serial_tracer = Tracer(kernel="mm", machine="sgi", size=24)
+        serial, serial_engine = _golden_search(
+            SGI, prescreen=True, jobs=1, tracer=serial_tracer
+        )
+        threads_tracer = Tracer(kernel="mm", machine="sgi", size=24)
+        threaded, threads_engine = _golden_search(
+            SGI, prescreen=True, jobs=4, tracer=threads_tracer,
+            workers="threads",
+        )
+        assert _winner(threaded) == _winner(serial)
+        assert canonical(threads_tracer.events()) == canonical(
+            serial_tracer.events()
+        )
+        assert (
+            threads_engine.stats.simulations
+            == serial_engine.stats.simulations
+        )
+        assert (
+            threads_engine.stats.full_sims,
+            threads_engine.stats.delta_sims,
+        ) == (
+            serial_engine.stats.full_sims,
+            serial_engine.stats.delta_sims,
+        )
+        # the threaded run really did speculate (in-process batching
+        # keeps the pipelined scheduler's speculative submissions)
+        submits = threads_engine.metrics.counter(
+            "pipeline.speculative_submits"
+        ).value
+        assert submits > 0
+
+    def test_threads_serial_and_parallel_agree(self):
+        a, _ = _golden_search(SGI, jobs=1, workers="threads")
+        b, _ = _golden_search(SGI, jobs=4, workers="threads")
+        assert _winner(a) == _winner(b)
+        assert a.history == b.history
+
+    def test_threads_rejects_fault_injection(self):
+        from repro.faults import FaultPlan
+
+        plan = FaultPlan.parse("raise=0.2,seed=7")
+        with pytest.raises(ValueError, match="process workers"):
+            EvalEngine(SGI, jobs=2, workers="threads", fault_plan=plan)
+        # ... and rejects unknown venues outright
+        with pytest.raises(ValueError):
+            EvalEngine(SGI, workers="fibers")
+
+
 class Interrupt(Exception):
     """Stands in for a crash inside an in-process search."""
 
@@ -168,6 +230,39 @@ class TestSpeculationIsCrashSafe:
         fuse = 3
         for _ in range(20):
             engine = FuseResolveEngine(SGI, jobs=2, fuse=fuse)
+            with engine:
+                optimizer = EcoOptimizer(
+                    matmul(), SGI, self.CONFIG, engine=engine,
+                    checkpoint_path=path, resume=True,
+                )
+                try:
+                    result = optimizer.optimize({"N": 16}).result
+                    break
+                except Interrupt:
+                    fuse = 30
+        else:
+            pytest.fail("search never completed within the crash budget")
+        assert result.variant.name == clean.variant.name
+        assert result.values == clean.values
+        assert result.prefetch == clean.prefetch
+        assert result.pads == clean.pads
+        assert result.cycles == clean.cycles
+
+    def test_threads_crash_mid_speculation_resumes_identically(self, tmp_path):
+        """The same crash/resume cycle under ``--workers threads -j4``:
+        group-settled speculative batches are consumed in record order,
+        so the journal (and the resumed best) must match a clean serial
+        run byte for byte."""
+        clean = (
+            EcoOptimizer(matmul(), SGI, self.CONFIG)
+            .optimize({"N": 16}).result
+        )
+        path = tmp_path / "ck-threads.json"
+        fuse = 3
+        for _ in range(20):
+            engine = FuseResolveEngine(
+                SGI, jobs=4, workers="threads", fuse=fuse
+            )
             with engine:
                 optimizer = EcoOptimizer(
                     matmul(), SGI, self.CONFIG, engine=engine,
@@ -257,14 +352,17 @@ class TestSurrogate:
 
 class TestSearchFloorCheck:
     @staticmethod
-    def _results(avoided=0.30, winner=True, speedup=2.5):
+    def _results(avoided=0.30, winner=True, speedup=2.5, sims_rate=300):
         return {
             "prescreen": {
                 "avoided_frac": avoided,
                 "winner_match": winner,
                 "per_machine": {"sgi-r10k-mini": {"winner_match": winner}},
             },
-            "search": {"pipeline_speedup": speedup},
+            "search": {
+                "pipeline_speedup": speedup,
+                "best_sims_per_sec": sims_rate,
+            },
         }
 
     @staticmethod
@@ -275,12 +373,29 @@ class TestSearchFloorCheck:
                 "prescreen_avoided_frac": 0.25,
                 "prescreen_winner_match": True,
             },
-            "host_sensitive": {"pipeline_speedup": 2.0},
+            "host_sensitive": {
+                "pipeline_speedup": 2.0,
+                "best_sims_per_sec": 100,
+            },
         }
 
-    def test_passes_above_all_floors(self):
-        floor = self._floor(os.cpu_count() or 1)
-        assert check_search_floor(self._results(), floor) == ([], [])
+    @staticmethod
+    def _fake_host(monkeypatch, cpu_count):
+        """Pin the apparent host so gate semantics are testable on any
+        runner (the real host may well be the 1-core case itself)."""
+        monkeypatch.setattr(
+            "repro.bench._host_context",
+            lambda: {
+                "cpu_count": cpu_count,
+                "single_core": cpu_count == 1,
+                "platform": "linux",
+                "python": "3.11.0",
+            },
+        )
+
+    def test_passes_above_all_floors(self, monkeypatch):
+        self._fake_host(monkeypatch, 4)
+        assert check_search_floor(self._results(), self._floor(4)) == ([], [])
 
     def test_low_avoided_fraction_fails_on_any_host(self):
         floor = self._floor((os.cpu_count() or 1) + 7)  # foreign host
@@ -294,8 +409,9 @@ class TestSearchFloorCheck:
         failures, _ = check_search_floor(self._results(winner=False), floor)
         assert any("sgi-r10k-mini" in f for f in failures)
 
-    def test_speedup_shortfall_fails_on_the_measured_host(self):
-        floor = self._floor(os.cpu_count() or 1)
+    def test_speedup_shortfall_fails_on_the_measured_host(self, monkeypatch):
+        self._fake_host(monkeypatch, 4)
+        floor = self._floor(4)
         failures, warnings = check_search_floor(
             self._results(speedup=1.0), floor
         )
@@ -307,10 +423,39 @@ class TestSearchFloorCheck:
             [], []
         )
 
-    def test_speedup_shortfall_warns_on_a_foreign_host(self):
-        floor = self._floor((os.cpu_count() or 1) + 7)
+    def test_speedup_shortfall_warns_on_a_foreign_host(self, monkeypatch):
+        self._fake_host(monkeypatch, 4)
+        floor = self._floor(11)
         failures, warnings = check_search_floor(
             self._results(speedup=1.0), floor
         )
         assert failures == []
         assert any("host differs" in w for w in warnings)
+
+    def test_sims_rate_shortfall_fails_on_the_measured_host(self, monkeypatch):
+        self._fake_host(monkeypatch, 4)
+        floor = self._floor(4)
+        failures, warnings = check_search_floor(
+            self._results(sims_rate=10), floor
+        )
+        assert any("sims/sec" in f for f in failures)
+        assert warnings == []
+        # slack: above floor*(1-slack) passes
+        near = int(100 * (1 - FLOOR_SLACK)) + 1
+        assert check_search_floor(self._results(sims_rate=near), floor) == (
+            [], []
+        )
+
+    def test_single_core_host_warns_even_when_floor_matches(self, monkeypatch):
+        """The ISSUE 6 host-sensitivity fix: a cpu_count==1 host can never
+        enforce parallel wall-clock gates — even against a floor that was
+        itself (mistakenly) recorded on a single-core machine."""
+        self._fake_host(monkeypatch, 1)
+        floor = self._floor(1)  # host "matches" ... but is single-core
+        failures, warnings = check_search_floor(
+            self._results(speedup=0.6, sims_rate=10), floor
+        )
+        assert failures == []
+        assert any("single-core" in w for w in warnings)
+        assert any("speedup" in w for w in warnings)
+        assert any("sims/sec" in w for w in warnings)

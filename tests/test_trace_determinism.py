@@ -71,15 +71,16 @@ class TestTracingIsAnObserver:
         assert result.points == GOLDEN_POINTS
         assert result.cycles == pytest.approx(GOLDEN_CYCLES, rel=1e-12)
         # SearchResult.stats keeps its agreed shape: tracing leaks no keys
-        # in; the supervision counters (docs/robustness.md) and the
-        # simulator-throughput pair (docs/simulator.md) are the only
-        # additions beyond the original engine accounting.
+        # in; the supervision counters (docs/robustness.md), the
+        # simulator-throughput pair (docs/simulator.md) and the delta-
+        # evaluation split (docs/search.md) are the only additions beyond
+        # the original engine accounting.
         assert set(result.stats) == {
             "memory_hits", "disk_hits", "cache_hits", "simulations",
             "failures", "batches", "wall_seconds", "stages",
             "retries", "timeouts", "pool_restarts", "transient_failures",
             "corrupt_results", "disk_write_failures", "prescreen_skips",
-            "sim_seconds", "sim_accesses",
+            "sim_seconds", "sim_accesses", "full_sims", "delta_sims",
         }
 
     def test_trace_replays_to_the_golden_best(self, traced_serial):
