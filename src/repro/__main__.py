@@ -13,13 +13,24 @@ Commands:
   generality);
 * ``trace summary|timeline|convergence|chrome TRACE.jsonl`` — analyze a
   search trace (see ``docs/observability.md``);
+* ``corpus ingest|list|stats|export`` — accumulate traces into the
+  content-addressed corpus under ``results/corpus/`` and export the
+  flattened per-candidate table;
+* ``report accuracy TRACE.jsonl ...`` — calibrate the analytical models
+  against the measured cycles a trace records: rank correlation, worst
+  misranking, prescreen margin sweep, and (``--audit``) a seeded
+  re-simulation of recorded prescreen skips;
+* ``profile TRACE.jsonl`` — per-stage wall-time attribution of a search
+  (stage spans + per-eval wall attrs);
 * ``bench sim [--quick] [--check]`` — measure simulator throughput
   (``BENCH_sim.json``), optionally gating against the committed floor
   in ``benchmarks/perf/sim_floor.json`` (see ``docs/simulator.md``);
 * ``bench search [--quick] [--check]`` — measure the search scheduler:
   pipelined-vs-barrier wall clock and the model prescreen's avoided
   simulations (``BENCH_search.json``, floor
-  ``benchmarks/perf/search_floor.json``; see ``docs/search.md``).
+  ``benchmarks/perf/search_floor.json``; see ``docs/search.md``);
+* ``bench trend`` — append a summary row from the current
+  ``BENCH_*.json`` files to ``results/bench_history.jsonl``.
 
 ``tune`` prescreens tiling candidates with the analytical model by
 default (simulations the model can rule out are skipped);
@@ -188,9 +199,11 @@ def _parser() -> argparse.ArgumentParser:
     _add_engine_options(experiments)
 
     bench = sub.add_parser("bench", help="tracked performance benchmarks")
-    bench.add_argument("suite", choices=("sim", "search"),
+    bench.add_argument("suite", choices=("sim", "search", "trend"),
                        help="benchmark suite to run (sim: simulator throughput; "
-                            "search: scheduler pipelining + model prescreen)")
+                            "search: scheduler pipelining + model prescreen; "
+                            "trend: append a summary row from the current "
+                            "BENCH_*.json files to results/bench_history.jsonl)")
     bench.add_argument("--quick", action="store_true",
                        help="smaller sizes, fewer repeats (the CI smoke mode)")
     bench.add_argument("--check", action="store_true",
@@ -208,6 +221,49 @@ def _parser() -> argparse.ArgumentParser:
     trace.add_argument("-o", "--output", metavar="FILE", default=None,
                        help="write the rendering to FILE instead of stdout "
                             "(chrome: default TRACE.chrome.json)")
+
+    corpus = sub.add_parser(
+        "corpus",
+        help="content-addressed trace corpus (ingest/list/stats/export)",
+    )
+    corpus.add_argument("action", choices=("ingest", "list", "stats", "export"))
+    corpus.add_argument("traces", nargs="*", metavar="TRACE.jsonl",
+                        help="trace files to ingest (ingest only)")
+    corpus.add_argument("--root", default=None, metavar="DIR",
+                        help="corpus directory (default results/corpus)")
+    corpus.add_argument("--format", choices=("csv", "jsonl"), default="csv",
+                        help="export format for the flattened per-candidate "
+                             "table (default csv)")
+    corpus.add_argument("--id", dest="trace_id", default=None, metavar="ID",
+                        help="restrict export to one ingested trace id")
+    corpus.add_argument("-o", "--output", metavar="FILE", default=None,
+                        help="write output to FILE instead of stdout")
+
+    report = sub.add_parser(
+        "report", help="model-accuracy reports from recorded traces"
+    )
+    report.add_argument("action", choices=("accuracy",))
+    report.add_argument("traces", nargs="+", metavar="TRACE.jsonl")
+    report.add_argument("--audit", type=int, nargs="?", const=5, default=0,
+                        metavar="N",
+                        help="re-simulate up to N sampled prescreen skips per "
+                             "search to measure the realized false-skip rate "
+                             "(default sample when given without N: 5)")
+    report.add_argument("--seed", type=int, default=42,
+                        help="sampling seed for --audit (default 42)")
+    report.add_argument("--margins", default=None, metavar="M1,M2,...",
+                        help="comma-separated margins for the sweep "
+                             "(default: 0.0 .. 0.5 including the calibrated "
+                             "0.29)")
+    report.add_argument("-o", "--output", metavar="FILE", default=None,
+                        help="write the report to FILE instead of stdout")
+
+    profile = sub.add_parser(
+        "profile", help="per-stage wall-time attribution of a search trace"
+    )
+    profile.add_argument("trace", metavar="TRACE.jsonl")
+    profile.add_argument("-o", "--output", metavar="FILE", default=None,
+                         help="write the report to FILE instead of stdout")
     return parser
 
 
@@ -328,32 +384,154 @@ def _cmd_trace(args) -> None:
     import json
 
     from repro.obs import (
-        load_trace,
+        read_trace,
         render_convergence,
         render_summary,
         render_timeline,
         to_chrome_trace,
     )
 
-    events = load_trace(args.trace)
-    if args.action == "chrome":
-        output = args.output or f"{args.trace.removesuffix('.jsonl')}.chrome.json"
-        with open(output, "w") as handle:
-            json.dump(to_chrome_trace(events), handle, indent=1)
-        print(f"wrote {output} (open in chrome://tracing or ui.perfetto.dev)")
-        return
-    render = {
-        "summary": render_summary,
-        "timeline": render_timeline,
-        "convergence": render_convergence,
-    }[args.action]
-    text = render(events)
+    load = read_trace(args.trace)
+    events = load.events
+    if args.action == "summary":
+        # the summary folds loader findings (skipped lines, schema
+        # warnings) into its own output
+        text = render_summary(
+            events, skipped_lines=load.skipped_lines, warnings=load.warnings
+        )
+    else:
+        for warning in load.warnings:
+            print(f"warning: {warning}", file=sys.stderr)
+        if load.skipped_lines:
+            print(
+                f"warning: skipped {load.skipped_lines} unreadable line(s) "
+                f"(truncated or partially written trace)",
+                file=sys.stderr,
+            )
+        if args.action == "chrome":
+            output = args.output or f"{args.trace.removesuffix('.jsonl')}.chrome.json"
+            with open(output, "w") as handle:
+                json.dump(to_chrome_trace(events), handle, indent=1)
+            print(f"wrote {output} (open in chrome://tracing or ui.perfetto.dev)")
+            return
+        render = {
+            "timeline": render_timeline,
+            "convergence": render_convergence,
+        }[args.action]
+        text = render(events)
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(text + "\n")
         print(f"wrote {args.output}")
     else:
         print(text)
+
+
+def _write_or_print(text: str, output: Optional[str]) -> None:
+    if output:
+        with open(output, "w") as handle:
+            handle.write(text + ("" if text.endswith("\n") else "\n"))
+        print(f"wrote {output}")
+    else:
+        print(text)
+
+
+def _cmd_corpus(args) -> None:
+    from repro.obs.corpus import Corpus
+
+    corpus = Corpus(args.root) if args.root else Corpus()
+    if args.action == "ingest":
+        if not args.traces:
+            raise SystemExit("corpus ingest: no trace files given")
+        for path in args.traces:
+            result = corpus.ingest(path)
+            for warning in result.warnings:
+                print(f"warning: {path}: {warning}", file=sys.stderr)
+            verb = "ingested" if result.new else "already present"
+            entry = result.entry
+            skipped = (
+                f", {entry['skipped_lines']} lines skipped"
+                if entry["skipped_lines"] else ""
+            )
+            print(
+                f"{verb} {result.id}: {path} "
+                f"({entry['events']} events, {entry['evals']} evals{skipped})"
+            )
+        return
+    if args.action == "list":
+        entries = corpus.entries()
+        if not entries:
+            print(f"corpus at {corpus.root} is empty")
+            return
+        print(f"{'id':<18} {'schema':>6} {'evals':>6} {'sims':>6} "
+              f"{'skips':>6}  searches")
+        for entry in entries:
+            searches = "; ".join(
+                f"{s['kernel']}@{s['machine']}" for s in entry["searches"]
+            )
+            print(
+                f"{entry['id']:<18} {str(entry['schema']):>6} "
+                f"{entry['evals']:>6} {entry['sims']:>6} "
+                f"{entry['prescreen_skips']:>6}  {searches}"
+            )
+        return
+    if args.action == "stats":
+        import json
+
+        print(json.dumps(corpus.stats(), indent=1))
+        return
+    # export
+    _write_or_print(corpus.export(args.format, args.trace_id), args.output)
+
+
+def _parse_margins(text: Optional[str]):
+    from repro.obs.accuracy import DEFAULT_SWEEP_MARGINS
+
+    if not text:
+        return DEFAULT_SWEEP_MARGINS
+    try:
+        return tuple(float(part) for part in text.split(",") if part.strip())
+    except ValueError as error:
+        raise SystemExit(f"--margins: {error}")
+
+
+def _cmd_report(args) -> None:
+    from repro.obs.accuracy import analyze_trace, render_accuracy
+    from repro.obs.reader import read_trace
+
+    margins = _parse_margins(args.margins)
+    sections = []
+    for path in args.traces:
+        load = read_trace(path)
+        for warning in load.warnings:
+            print(f"warning: {path}: {warning}", file=sys.stderr)
+        if load.skipped_lines:
+            print(
+                f"warning: {path}: skipped {load.skipped_lines} unreadable "
+                f"line(s)",
+                file=sys.stderr,
+            )
+        analyses = analyze_trace(
+            load.events, margins=margins, audit=args.audit, seed=args.seed
+        )
+        header = f"== {path} =="
+        sections.append(header + "\n" + render_accuracy(analyses))
+    _write_or_print("\n".join(sections), args.output)
+
+
+def _cmd_profile(args) -> None:
+    from repro.obs.profile import render_profile
+    from repro.obs.reader import read_trace
+
+    load = read_trace(args.trace)
+    for warning in load.warnings:
+        print(f"warning: {warning}", file=sys.stderr)
+    if load.skipped_lines:
+        print(
+            f"warning: skipped {load.skipped_lines} unreadable line(s)",
+            file=sys.stderr,
+        )
+    _write_or_print(render_profile(load.events), args.output)
 
 
 def _cmd_experiments(
@@ -425,6 +603,12 @@ def main(argv: Optional[List[str]] = None) -> None:
             _cmd_bench(args)
         elif args.command == "trace":
             _cmd_trace(args)
+        elif args.command == "corpus":
+            _cmd_corpus(args)
+        elif args.command == "report":
+            _cmd_report(args)
+        elif args.command == "profile":
+            _cmd_profile(args)
     except BrokenPipeError:
         # stdout was closed mid-print (e.g. piped into `head`): exit quietly
         import os

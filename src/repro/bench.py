@@ -47,7 +47,9 @@ __all__ = [
     "run_search_bench",
     "check_floor",
     "check_search_floor",
+    "trend_row",
     "FLOOR_SLACK",
+    "HISTORY_PATH",
 ]
 
 #: a workload fails the CI gate only below ``floor * (1 - FLOOR_SLACK)``
@@ -56,6 +58,10 @@ FLOOR_SLACK = 0.30
 #: where the committed floors live (relative to the repo root)
 FLOOR_PATH = "benchmarks/perf/sim_floor.json"
 SEARCH_FLOOR_PATH = "benchmarks/perf/search_floor.json"
+
+#: where ``repro bench trend`` accumulates one summary row per run, so
+#: BENCH_*.json regressions leave a history instead of overwriting it
+HISTORY_PATH = "results/bench_history.jsonl"
 
 
 def _host_context() -> Dict[str, object]:
@@ -544,15 +550,96 @@ def _main_search(args) -> int:
     return 0
 
 
+def trend_row(
+    sim: Optional[Dict[str, object]] = None,
+    search: Optional[Dict[str, object]] = None,
+    timestamp: Optional[float] = None,
+) -> Dict[str, object]:
+    """One history row summarizing the current ``BENCH_*.json`` payloads.
+
+    Pure function of the payloads (plus an explicit timestamp) so tests
+    can pin its shape; the headline numbers are exactly the ones the
+    committed floors gate on.
+    """
+    row: Dict[str, object] = {
+        "ts": round(timestamp if timestamp is not None else time.time(), 3),
+        "host": _host_context(),
+    }
+    if sim is not None:
+        workloads = sim.get("workloads", {})
+        golden = next(
+            (r for label, r in workloads.items()
+             if label.startswith("golden-search")), {}
+        )
+        row["sim"] = {
+            "quick": sim.get("quick"),
+            "golden_accesses_per_sec": golden.get("accesses_per_sec"),
+            "speedup_vs_baseline":
+                sim.get("baseline", {}).get("speedup_vs_baseline"),
+        }
+    if search is not None:
+        s = search.get("search", {})
+        prescreen = search.get("prescreen", {})
+        row["search"] = {
+            "quick": search.get("quick"),
+            "sims": s.get("sims"),
+            "best_sims_per_sec": s.get("best_sims_per_sec"),
+            "pipeline_speedup": s.get("pipeline_speedup"),
+            "prescreen_avoided_frac": prescreen.get("avoided_frac"),
+            "prescreen_winner_match": prescreen.get("winner_match"),
+        }
+    return row
+
+
+def _main_trend(args) -> int:
+    """Append a summary row from the current BENCH files to the history.
+
+    Reads ``BENCH_sim.json`` / ``BENCH_search.json`` from the working
+    directory (whichever exist) and appends one JSONL row to
+    ``results/bench_history.jsonl`` (or ``--out``).
+    """
+    sim = _load_floor("BENCH_sim.json")
+    search = _load_floor("BENCH_search.json")
+    if sim is None and search is None:
+        print("no BENCH_sim.json or BENCH_search.json in the working "
+              "directory: run `repro bench sim` / `repro bench search` first")
+        return 1
+    row = trend_row(sim, search)
+    out = args.out or HISTORY_PATH
+    parent = os.path.dirname(out)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(out, "a") as handle:
+        handle.write(json.dumps(row, sort_keys=True) + "\n")
+    with open(out) as handle:
+        count = sum(1 for line in handle if line.strip())
+    parts = []
+    if "sim" in row:
+        parts.append(
+            f"sim golden {row['sim']['golden_accesses_per_sec']:,}/s"
+        )
+    if "search" in row:
+        parts.append(
+            f"search best {row['search']['best_sims_per_sec']:,} sims/s, "
+            f"prescreen avoided "
+            f"{row['search']['prescreen_avoided_frac']:.1%}"
+        )
+    print(f"appended to {out} (row {count}): " + "; ".join(parts))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point for ``repro bench {sim,search}`` (also runnable directly)."""
+    """Entry point for ``repro bench {sim,search,trend}`` (also runnable
+    directly)."""
     import argparse
 
     parser = argparse.ArgumentParser(prog="repro bench")
-    parser.add_argument("suite", nargs="?", choices=("sim", "search"),
+    parser.add_argument("suite", nargs="?", choices=("sim", "search", "trend"),
                         default="sim",
                         help="benchmark suite (sim: simulator throughput; "
-                             "search: scheduler pipelining + model prescreen)")
+                             "search: scheduler pipelining + model prescreen; "
+                             "trend: append a BENCH_*.json summary row to "
+                             f"{HISTORY_PATH})")
     parser.add_argument("--quick", action="store_true",
                         help="smaller sizes, fewer repeats (the CI smoke mode)")
     parser.add_argument("--check", action="store_true",
@@ -565,6 +652,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="result file (default BENCH_sim.json / "
                              "BENCH_search.json by suite)")
     args = parser.parse_args(argv)
+    if args.suite == "trend":
+        return _main_trend(args)
     if args.suite == "search":
         return _main_search(args)
     return _main_sim(args)

@@ -581,6 +581,10 @@ class EvalEngine:
         self.stats.batches += 1
         keys = [self._key_of(req) for req in requests]
         outcomes: List[Optional[EvalOutcome]] = [None] * len(requests)
+        #: per-key trace annotations for this batch: the consumption-time
+        #: full/delta kind (deterministic) and the settle wall (timing)
+        sim_kinds: Dict[str, str] = {}
+        walls: Dict[str, float] = {}
 
         # 1. cache lookups (memory, then disk), dedup within the batch
         to_run: List[int] = []  # index of first occurrence per missing key
@@ -614,14 +618,18 @@ class EvalEngine:
                 self._acquire(requests[i], keys[i], defer=not pool_venue)
                 for i in to_run
             ]
-            results = [self._settle(entry) for entry in entries]
+            results = []
+            for entry in entries:
+                settle_start = time.perf_counter()
+                results.append(self._settle(entry))
+                walls[entry.key] = time.perf_counter() - settle_start
             for entry in entries:
                 self._release(entry)
             for i, entry, (status, cycles, counters) in zip(
                 to_run, entries, results
             ):
                 key = keys[i]
-                self._account_sim(entry.payload[7], counters)
+                sim_kinds[key] = self._account_sim(entry.payload[7], counters)
                 if counters is not None:
                     self.stats.sim_seconds += counters.sim_seconds
                     self.stats.sim_accesses += counters.sim_accesses
@@ -640,7 +648,7 @@ class EvalEngine:
 
         self.stats.wall_seconds += time.perf_counter() - start
         assert all(o is not None for o in outcomes)
-        self._record_batch(requests, outcomes)
+        self._record_batch(requests, outcomes, keys, sim_kinds, walls)
         return outcomes  # type: ignore[return-value]
 
     # -- pipelined (futures-style) API ----------------------------------
@@ -710,6 +718,7 @@ class EvalEngine:
         or retried work) and write the accounting record."""
         start = time.perf_counter()
         entry = self._inflight[ticket.key]
+        kind: Optional[str] = None
         if entry.cached is not None:
             source, hit = entry.cached
             self._count_hit(source)
@@ -718,7 +727,7 @@ class EvalEngine:
                                   source, status)
         else:
             status, cycles, counters = self._settle(entry)
-            self._account_sim(entry.payload[7], counters)
+            kind = self._account_sim(entry.payload[7], counters)
             if counters is not None:
                 self.stats.sim_seconds += counters.sim_seconds
                 self.stats.sim_accesses += counters.sim_accesses
@@ -731,7 +740,8 @@ class EvalEngine:
             self._sync_disk_failures()
             outcome = EvalOutcome(entry.key, cycles, counters, "sim", status)
         self._release(entry)
-        self._record_outcome(ticket.request, outcome)
+        wall = time.perf_counter() - start
+        self._record_outcome(ticket.request, outcome, kind=kind, wall=wall)
         self.stats.wall_seconds += time.perf_counter() - start
         return outcome
 
@@ -799,11 +809,16 @@ class EvalEngine:
         self,
         requests: Sequence[EvalRequest],
         outcomes: Sequence[Optional[EvalOutcome]],
+        keys: Sequence[str],
+        sim_kinds: Mapping[str, str],
+        walls: Mapping[str, float],
     ) -> None:
         """Metrics + trace events for one batch, in input order.
 
         Emission happens in the main process after all results are
         gathered, so the event stream is identical at any job count.
+        ``sim_kinds``/``walls`` carry the per-key full/delta split and
+        settle wall for requests that simulated this batch.
         """
         metrics = self.metrics
         metrics.counter("eval.batches").inc()
@@ -816,10 +831,18 @@ class EvalEngine:
             )
         if not self.tracer.enabled:
             return
-        for req, outcome in zip(requests, outcomes):
-            self._outcome_event(req, outcome)
+        for req, outcome, key in zip(requests, outcomes, keys):
+            self._outcome_event(
+                req, outcome, kind=sim_kinds.get(key), wall=walls.get(key)
+            )
 
-    def _record_outcome(self, request: EvalRequest, outcome: EvalOutcome) -> None:
+    def _record_outcome(
+        self,
+        request: EvalRequest,
+        outcome: EvalOutcome,
+        kind: Optional[str] = None,
+        wall: Optional[float] = None,
+    ) -> None:
         """Metrics + trace event for one resolved ticket (driver order)."""
         self._outcome_metrics(outcome)
         if self.stats.evaluations:
@@ -827,7 +850,7 @@ class EvalEngine:
                 round(self.stats.cache_hits / self.stats.evaluations, 6)
             )
         if self.tracer.enabled:
-            self._outcome_event(request, outcome)
+            self._outcome_event(request, outcome, kind=kind, wall=wall)
 
     def _outcome_metrics(self, outcome: EvalOutcome) -> None:
         metrics = self.metrics
@@ -857,7 +880,13 @@ class EvalEngine:
         else:
             metrics.counter(f"eval.cache_hits.{outcome.source}").inc()
 
-    def _outcome_event(self, req: EvalRequest, outcome: EvalOutcome) -> None:
+    def _outcome_event(
+        self,
+        req: EvalRequest,
+        outcome: EvalOutcome,
+        kind: Optional[str] = None,
+        wall: Optional[float] = None,
+    ) -> None:
         counters = outcome.counters
         attrs = {
             "variant": req.variant.name,
@@ -888,6 +917,14 @@ class EvalEngine:
                     "collapsed": counters.sim_collapsed,
                     "timing_events": counters.sim_timing_events,
                 }
+        if kind == "delta":
+            # consumption-order full/delta split: deterministic, so it
+            # stays in the canonical projection (docs/search.md)
+            attrs["delta"] = True
+        if wall is not None:
+            # host seconds obtaining this result — a TIMING_ATTRS key,
+            # stripped by canonical() like ts/dur
+            attrs["wall"] = round(wall, 9)
         self.tracer.event("eval", **attrs)
 
     @contextmanager
@@ -973,7 +1010,7 @@ class EvalEngine:
         if self._stage is not None:
             self._stage.cache_hits += 1
 
-    def _account_sim(self, signature: str, counters: Optional[Counters]) -> None:
+    def _account_sim(self, signature: str, counters: Optional[Counters]) -> str:
         """Consumption-time simulation accounting: total + delta split.
 
         A simulation is a *delta* when an earlier consumed simulation
@@ -983,6 +1020,8 @@ class EvalEngine:
         what its worker cached, so the next same-signature sim stays
         conservatively "full".  Consumption order is driver order, making
         the split byte-identical at every ``-j`` and worker mode.
+        Returns the kind it counted (``"full"`` | ``"delta"``) so the
+        trace event for the same consumption can carry it.
         """
         self.stats.simulations += 1
         if signature in self._seen_signatures:
@@ -991,7 +1030,7 @@ class EvalEngine:
             if self._stage is not None:
                 self._stage.simulations += 1
                 self._stage.delta_sims += 1
-            return
+            return "delta"
         self.stats.full_sims += 1
         self.metrics.counter("eval.full_sims").inc()
         if self._stage is not None:
@@ -999,6 +1038,7 @@ class EvalEngine:
             self._stage.full_sims += 1
         if counters is not None:
             self._seen_signatures.add(signature)
+        return "full"
 
     # -- supervised execution -------------------------------------------
     # Both paths preserve the determinism guarantee: a candidate's final

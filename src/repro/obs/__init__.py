@@ -8,16 +8,26 @@ Three pieces (see ``docs/observability.md``):
 * :mod:`repro.obs.metrics` — counters / gauges / histograms every search
   component reports into;
 * :mod:`repro.obs.reader` / :mod:`repro.obs.report` — the trace
-  toolchain behind ``repro trace summary|timeline|convergence|chrome``.
+  toolchain behind ``repro trace summary|timeline|convergence|chrome``;
+* :mod:`repro.obs.corpus` — the content-addressed trace corpus and its
+  flattened per-candidate table (``repro corpus ...``);
+* :mod:`repro.obs.accuracy` — the model-accuracy observatory
+  (``repro report accuracy``);
+* :mod:`repro.obs.profile` — per-stage search-cost attribution
+  (``repro profile``).
 """
 
+from repro.obs.corpus import Corpus, flatten_trace, trace_id
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profile import profile_trace, render_profile
 from repro.obs.reader import (
+    TraceLoad,
     canonical,
     convergence,
     delta_totals,
     eval_events,
     load_trace,
+    read_trace,
     span_nodes,
     stage_totals,
     supervision_totals,
@@ -29,7 +39,14 @@ from repro.obs.report import (
     render_timeline,
     to_chrome_trace,
 )
-from repro.obs.schema import SCHEMA_VERSION, TIMING_FIELDS, validate_event
+from repro.obs.schema import (
+    SCHEMA_VERSION,
+    TIMING_ATTRS,
+    TIMING_FIELDS,
+    check_schema_version,
+    parse_schema_version,
+    validate_event,
+)
 from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
@@ -43,8 +60,13 @@ __all__ = [
     "Tracer",
     "SCHEMA_VERSION",
     "TIMING_FIELDS",
+    "TIMING_ATTRS",
     "validate_event",
+    "parse_schema_version",
+    "check_schema_version",
     "load_trace",
+    "read_trace",
+    "TraceLoad",
     "canonical",
     "eval_events",
     "convergence",
@@ -57,4 +79,23 @@ __all__ = [
     "render_timeline",
     "render_convergence",
     "to_chrome_trace",
+    "Corpus",
+    "flatten_trace",
+    "trace_id",
+    "analyze_trace",
+    "render_accuracy",
+    "profile_trace",
+    "render_profile",
 ]
+
+
+def __getattr__(name):
+    # repro.obs.accuracy re-scores candidates with the search's own
+    # models, so it imports repro.core — which imports the engine, which
+    # imports this package.  Loading it lazily keeps the export surface
+    # without the cycle.
+    if name in ("analyze_trace", "render_accuracy"):
+        from repro.obs import accuracy
+
+        return getattr(accuracy, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

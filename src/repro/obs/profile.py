@@ -1,0 +1,293 @@
+"""Search-cost profiler: where did the search's wall time actually go?
+
+``repro profile`` assembles a per-stage attribution from what the trace
+already records — stage span durations, per-eval simulation/cache
+outcomes — plus the per-eval ``wall`` attribute (schema 1.1): the host
+seconds the engine spent obtaining each result.  The report answers the
+question a single wall number cannot: when a scheduler change regresses
+(PR 5's pipelined-loses-on-1-core), *which stage* paid, and was it
+simulation time or orchestration overhead?
+
+Two views:
+
+* **attribution table** — per stage: wall seconds (span durations),
+  the eval wall inside it (time settling results), the remainder
+  (candidate generation, model judging, bookkeeping), plus sims/hits
+  and simulated machine time.  An ``(unattributed)`` row carries the
+  search wall not covered by any stage span, so the rows sum *exactly*
+  to the search span's duration.
+* **self-time report** — every span's duration minus its children's,
+  aggregated by label and drawn as a proportional bar: a treemap
+  flattened into text.
+
+Traces older than schema 1.1 have no ``wall`` eval attribute; the eval-
+wall column degrades to ``-`` and the rest of the report still works.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.reader import SpanNode, span_nodes, trace_meta
+
+__all__ = [
+    "SearchProfile",
+    "StageProfile",
+    "profile_trace",
+    "render_profile",
+    "self_times",
+]
+
+
+@dataclass
+class StageProfile:
+    """Aggregated cost of every stage span sharing one stage name."""
+
+    name: str
+    spans: int = 0
+    wall: float = 0.0             # sum of stage span durations
+    eval_wall: float = 0.0        # sum of eval ``wall`` attrs inside them
+    evals: int = 0
+    sims: int = 0
+    cache_hits: int = 0
+    machine_seconds: float = 0.0  # simulated machine time of the sims
+
+    @property
+    def overhead(self) -> float:
+        """Stage wall not spent settling results (generation, judging)."""
+        return max(0.0, self.wall - self.eval_wall)
+
+
+@dataclass
+class SearchProfile:
+    """Wall-time attribution of one search span."""
+
+    kernel: str
+    machine: str
+    problem: Dict[str, int]
+    wall: float                   # the search span's duration
+    stages: List[StageProfile] = field(default_factory=list)
+    outside_eval_wall: float = 0.0  # eval walls not inside any stage span
+    has_eval_walls: bool = False    # False: pre-1.1 trace, no wall attrs
+
+    @property
+    def attributed(self) -> float:
+        return sum(s.wall for s in self.stages) + self.outside_eval_wall
+
+    @property
+    def unattributed(self) -> float:
+        """Search wall outside every stage span (scheduling, screening
+        bookkeeping, span overhead).  Can only go negative by clock
+        skew; clamped in the render, kept raw here."""
+        return self.wall - self.attributed
+
+
+def _eval_stats_by_span(
+    events: List[Dict[str, Any]],
+) -> Dict[Optional[str], Dict[str, float]]:
+    """Per-span totals of the eval events directly inside it."""
+    stats: Dict[Optional[str], Dict[str, float]] = {}
+    for event in events:
+        if event.get("type") != "event" or event.get("name") != "eval":
+            continue
+        attrs = event.get("attrs", {})
+        row = stats.setdefault(event.get("span"), {
+            "evals": 0, "sims": 0, "cache_hits": 0,
+            "machine_seconds": 0.0, "wall": 0.0, "walls_seen": 0,
+        })
+        row["evals"] += 1
+        if attrs.get("source") == "sim":
+            row["sims"] += 1
+            row["machine_seconds"] += attrs.get("machine_seconds") or 0.0
+        else:
+            row["cache_hits"] += 1
+        if "wall" in attrs:
+            row["wall"] += attrs["wall"]
+            row["walls_seen"] += 1
+    return stats
+
+
+def _collect(
+    node: SpanNode,
+    eval_stats: Dict[Optional[str], Dict[str, float]],
+    profile: SearchProfile,
+    stages: Dict[str, StageProfile],
+    inside_stage: bool,
+) -> None:
+    for child in node.children:
+        if child.name == "stage":
+            name = child.attrs.get("stage", child.id)
+            stage = stages.setdefault(name, StageProfile(name))
+            if name not in [s.name for s in profile.stages]:
+                profile.stages.append(stage)
+            stage.spans += 1
+            stage.wall += child.dur
+            _accumulate_stage(child, eval_stats, stage)
+            _collect(child, eval_stats, profile, stages, True)
+        else:
+            if not inside_stage:
+                row = eval_stats.get(child.id)
+                if row:
+                    profile.outside_eval_wall += row["wall"]
+                    if row["walls_seen"]:
+                        profile.has_eval_walls = True
+            _collect(child, eval_stats, profile, stages, inside_stage)
+
+
+def _accumulate_stage(
+    node: SpanNode,
+    eval_stats: Dict[Optional[str], Dict[str, float]],
+    stage: StageProfile,
+) -> None:
+    row = eval_stats.get(node.id)
+    if row:
+        stage.evals += int(row["evals"])
+        stage.sims += int(row["sims"])
+        stage.cache_hits += int(row["cache_hits"])
+        stage.machine_seconds += row["machine_seconds"]
+        stage.eval_wall += row["wall"]
+
+
+def profile_trace(events: List[Dict[str, Any]]) -> List[SearchProfile]:
+    """Per-search wall attribution for every search span in the trace."""
+    eval_stats = _eval_stats_by_span(events)
+    any_walls = any(row["walls_seen"] for row in eval_stats.values())
+    profiles: List[SearchProfile] = []
+
+    def walk(node: SpanNode) -> None:
+        if node.name == "search":
+            attrs = node.attrs
+            profile = SearchProfile(
+                kernel=attrs.get("kernel", ""),
+                machine=attrs.get("machine", ""),
+                problem=dict(attrs.get("problem", {})),
+                wall=node.dur,
+                has_eval_walls=any_walls,
+            )
+            stages: Dict[str, StageProfile] = {}
+            row = eval_stats.get(node.id)
+            if row:
+                profile.outside_eval_wall += row["wall"]
+            _collect(node, eval_stats, profile, stages, False)
+            profiles.append(profile)
+            return
+        for child in node.children:
+            walk(child)
+
+    for root in span_nodes(events):
+        walk(root)
+    return profiles
+
+
+def self_times(events: List[Dict[str, Any]]) -> List[Tuple[str, float, int]]:
+    """``(label, self seconds, spans)`` aggregated over the span tree,
+    descending by self time.  Self time = duration minus children's."""
+    totals: Dict[str, List[float]] = {}
+
+    def label_of(node: SpanNode) -> str:
+        attrs = node.attrs
+        if node.name == "stage" and "stage" in attrs:
+            return f"stage:{attrs['stage']}"
+        if node.name == "variant" and "variant" in attrs:
+            return "variant (between stages)"
+        return node.name
+
+    def walk(node: SpanNode) -> None:
+        self_time = max(0.0, node.dur - sum(c.dur for c in node.children))
+        row = totals.setdefault(label_of(node), [0.0, 0])
+        row[0] += self_time
+        row[1] += 1
+        for child in node.children:
+            walk(child)
+
+    for root in span_nodes(events):
+        walk(root)
+    return sorted(
+        ((label, wall, count) for label, (wall, count) in totals.items()),
+        key=lambda item: (-item[1], item[0]),
+    )
+
+
+def _bar(fraction: float, width: int = 30) -> str:
+    filled = int(round(max(0.0, min(1.0, fraction)) * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def render_profile(events: List[Dict[str, Any]]) -> str:
+    """The attribution table + self-time report, one block per search."""
+    meta = trace_meta(events)
+    interesting = {k: v for k, v in meta.items() if k != "schema"}
+    lines: List[str] = []
+    if interesting:
+        lines.append(
+            "trace: " + ", ".join(f"{k}={v}" for k, v in interesting.items())
+        )
+    profiles = profile_trace(events)
+    if not profiles:
+        lines.append("(no search spans in trace)")
+        return "\n".join(lines)
+    for profile in profiles:
+        problem = ", ".join(f"{k}={v}" for k, v in sorted(profile.problem.items()))
+        lines.append("")
+        lines.append(
+            f"search profile — {profile.kernel} @ {profile.machine} ({problem})"
+        )
+        lines.append(f"  search wall: {profile.wall:.3f} s")
+        lines.append("")
+        header = (
+            f"  {'stage':<16} {'spans':>5} {'evals':>5} {'sims':>5} "
+            f"{'hits':>5}  {'wall s':>8}  {'share':>6}  {'eval s':>8}  "
+            f"{'other s':>8}  {'machine ms':>10}"
+        )
+        lines.append(header)
+        total = profile.wall or 1.0
+        attributed = 0.0
+        for stage in profile.stages:
+            attributed += stage.wall
+            eval_col = (
+                f"{stage.eval_wall:8.3f}" if profile.has_eval_walls
+                else f"{'-':>8}"
+            )
+            other_col = (
+                f"{stage.overhead:8.3f}" if profile.has_eval_walls
+                else f"{'-':>8}"
+            )
+            lines.append(
+                f"  {stage.name:<16} {stage.spans:>5} {stage.evals:>5} "
+                f"{stage.sims:>5} {stage.cache_hits:>5}  {stage.wall:8.3f}  "
+                f"{stage.wall / total:>6.1%}  {eval_col}  {other_col}  "
+                f"{stage.machine_seconds * 1e3:10.3f}"
+            )
+        if profile.outside_eval_wall > 0:
+            attributed += profile.outside_eval_wall
+            lines.append(
+                f"  {'(outside stages)':<16} {'':>5} {'':>5} {'':>5} {'':>5}  "
+                f"{profile.outside_eval_wall:8.3f}  "
+                f"{profile.outside_eval_wall / total:>6.1%}"
+            )
+        unattributed = max(0.0, profile.wall - attributed)
+        lines.append(
+            f"  {'(unattributed)':<16} {'':>5} {'':>5} {'':>5} {'':>5}  "
+            f"{unattributed:8.3f}  {unattributed / total:>6.1%}"
+        )
+        covered = attributed + unattributed
+        lines.append(
+            f"  rows sum to {covered:.3f} s of {profile.wall:.3f} s search "
+            f"wall ({covered / total:.1%})"
+        )
+        if not profile.has_eval_walls:
+            lines.append(
+                "  (trace predates schema 1.1: no per-eval wall attrs; "
+                "eval/other columns unavailable)"
+            )
+    lines.append("")
+    lines.append("self time (span duration minus children, whole trace):")
+    rows = self_times(events)
+    total_self = sum(wall for _, wall, _ in rows) or 1.0
+    for label, wall, count in rows:
+        lines.append(
+            f"  {label:<24} {wall:8.3f} s  {wall / total_self:>6.1%} "
+            f"|{_bar(wall / total_self)}|  {count} span(s)"
+        )
+    return "\n".join(lines)

@@ -13,10 +13,17 @@ import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.obs.schema import TIMING_FIELDS, validate_event
+from repro.obs.schema import (
+    TIMING_ATTRS,
+    TIMING_FIELDS,
+    check_schema_version,
+    validate_event,
+)
 
 __all__ = [
     "load_trace",
+    "read_trace",
+    "TraceLoad",
     "canonical",
     "eval_events",
     "convergence",
@@ -31,7 +38,14 @@ __all__ = [
 
 
 def load_trace(path, validate: bool = False) -> List[Dict[str, Any]]:
-    """Read a JSONL trace; optionally validate every event's schema."""
+    """Read a JSONL trace *strictly*; any malformed line raises.
+
+    This is the right loader for traces the caller just produced (tests,
+    CI validation): corruption there is a bug, not an operational fact.
+    For traces of unknown provenance — crash-interrupted runs, files from
+    other hosts — use :func:`read_trace`, which skips torn lines with a
+    count instead of refusing the whole file.
+    """
     events: List[Dict[str, Any]] = []
     with open(path) as handle:
         for line_no, line in enumerate(handle):
@@ -48,6 +62,64 @@ def load_trace(path, validate: bool = False) -> List[Dict[str, Any]]:
     return events
 
 
+@dataclass
+class TraceLoad:
+    """A tolerantly loaded trace: events plus what loading had to forgive.
+
+    ``skipped_lines`` counts lines that were not valid JSON objects (the
+    signature of a crash-interrupted writer: the final line is torn mid-
+    object); ``warnings`` carries non-fatal findings such as a newer
+    schema minor.  Renderers surface both so a partial trace is never
+    silently presented as a complete one.
+    """
+
+    path: str
+    events: List[Dict[str, Any]] = field(default_factory=list)
+    skipped_lines: int = 0
+    warnings: List[str] = field(default_factory=list)
+
+
+def read_trace(path, validate: bool = False) -> TraceLoad:
+    """Read a JSONL trace, forgiving truncated/partially-written lines.
+
+    A line that does not parse as a JSON object is *skipped and counted*
+    (crash-interrupted traces legitimately end mid-line; refusing the
+    whole file would make exactly the traces worth investigating
+    unreadable).  The leading ``meta`` event's schema version is checked:
+    a newer minor becomes a warning, an unknown major raises with a clear
+    message (see :func:`repro.obs.schema.check_schema_version`).  With
+    ``validate`` on, events are checked against the schema — the
+    consecutive-``seq`` invariant is only enforced until the first
+    skipped line, after which gaps are expected.
+    """
+    load = TraceLoad(path=str(path))
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                load.skipped_lines += 1
+                continue
+            if not isinstance(event, dict):
+                load.skipped_lines += 1
+                continue
+            if validate:
+                validate_event(
+                    event,
+                    seq=len(load.events) if load.skipped_lines == 0 else None,
+                )
+            load.events.append(event)
+    meta = trace_meta(load.events)
+    if "schema" in meta:
+        warning = check_schema_version(meta["schema"])
+        if warning is not None:
+            load.warnings.append(warning)
+    return load
+
+
 def canonical(events: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
     """Events with the non-deterministic timing fields removed.
 
@@ -58,7 +130,9 @@ def canonical(events: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
     they are dropped here, and ``seq`` is renumbered over the surviving
     events so the projection stays comparable across job counts (at
     ``-j 1`` no pipeline metric is ever registered, so the renumbering
-    is the identity there).
+    is the identity there).  Timing-valued *attributes*
+    (:data:`repro.obs.schema.TIMING_ATTRS`, e.g. an eval event's ``wall``
+    seconds) are stripped the same way the ``ts``/``dur`` fields are.
     """
     kept = [
         event for event in events
@@ -72,6 +146,13 @@ def canonical(events: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
         }
         if "seq" in projected:
             projected["seq"] = index
+        attrs = projected.get("attrs")
+        if isinstance(attrs, dict) and any(k in attrs for k in TIMING_ATTRS):
+            attrs = {k: v for k, v in attrs.items() if k not in TIMING_ATTRS}
+            if attrs:
+                projected["attrs"] = attrs
+            else:
+                del projected["attrs"]
         out.append(projected)
     return out
 

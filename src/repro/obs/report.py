@@ -4,7 +4,7 @@ plus the Chrome-trace (``chrome://tracing`` / Perfetto) export."""
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Sequence
 
 from repro.obs.reader import (
     SpanNode,
@@ -34,15 +34,36 @@ def _meta_line(events: List[Dict[str, Any]]) -> str:
     return "trace: " + ", ".join(f"{k}={v}" for k, v in interesting.items())
 
 
-def render_summary(events: List[Dict[str, Any]]) -> str:
-    """Per-stage wall/sim-time breakdown plus evaluation totals."""
+def render_summary(
+    events: List[Dict[str, Any]],
+    skipped_lines: int = 0,
+    warnings: Sequence[str] = (),
+) -> str:
+    """Per-stage wall/sim-time breakdown plus evaluation totals.
+
+    ``skipped_lines``/``warnings`` come from a tolerant
+    :func:`repro.obs.reader.read_trace` and are surfaced up front so a
+    truncated or newer-schema trace is never presented as a clean one.
+    """
     evals = eval_events(events)
     sims = [e for e in evals if e["attrs"].get("source") == "sim"]
     hits = [e for e in evals if e["attrs"].get("source") in ("memory", "disk")]
     feasible = [e for e in evals if e["attrs"].get("cycles") is not None]
     machine_s = sum(e["attrs"].get("machine_seconds", 0.0) for e in sims)
-    lines = [
-        _meta_line(events),
+    lines = [_meta_line(events)]
+    for warning in warnings:
+        lines.append(f"warning: {warning}")
+    if skipped_lines:
+        lines.append(
+            f"warning: skipped {skipped_lines} unreadable line(s) "
+            f"(truncated or partially written trace)"
+        )
+    if not evals:
+        lines.append(
+            "no evaluations recorded (fully warm-cache search, or the "
+            "trace was cut before any candidate ran)"
+        )
+    lines += [
         f"evaluations: {len(evals)} ({len(sims)} simulated, {len(hits)} cached, "
         f"{len(evals) - len(feasible)} infeasible)",
         f"simulated machine time: {machine_s * 1e3:.3f} ms",
@@ -145,6 +166,12 @@ def render_convergence(events: List[Dict[str, Any]], width: int = 50) -> str:
     """Best-so-far curve over the candidate-evaluation stream."""
     curve = convergence(events)
     total = len(eval_events(events))
+    if total == 0:
+        return (
+            _meta_line(events)
+            + "\nno evaluations recorded (fully warm-cache search, or the "
+            "trace was cut before any candidate ran)"
+        )
     if not curve:
         return "(no feasible evaluations)"
     worst = curve[0][1]

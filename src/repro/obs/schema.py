@@ -31,22 +31,94 @@ The first event of every trace is ``{"type": "meta", "name": "trace"}``
 whose attrs carry ``schema`` (this module's :data:`SCHEMA_VERSION`) plus
 whatever run metadata the producer recorded (kernel, machine, CLI args).
 
+Versioning
+----------
+``schema`` is ``"<major>.<minor>"`` (a bare integer, as version-1 traces
+wrote it, means minor 0).  Minor bumps add fields or attributes that old
+readers can safely ignore; major bumps change the meaning of existing
+fields.  :func:`check_schema_version` implements the compatibility rule:
+a newer *minor* is read with a warning, an unknown *major* is refused
+with a clear error.
+
 See ``docs/observability.md`` for the span hierarchy and the catalog of
 event names and attributes each instrumented component emits.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, Optional, Tuple
 
-__all__ = ["SCHEMA_VERSION", "EVENT_TYPES", "TIMING_FIELDS", "validate_event"]
+__all__ = [
+    "SCHEMA_VERSION",
+    "EVENT_TYPES",
+    "TIMING_FIELDS",
+    "TIMING_ATTRS",
+    "validate_event",
+    "parse_schema_version",
+    "check_schema_version",
+]
 
-SCHEMA_VERSION = 1
+#: current writer version: major 1 (unchanged field semantics), minor 1
+#: (adds the ``wall``/``delta`` eval attributes and this version scheme)
+SCHEMA_VERSION = "1.1"
 
 EVENT_TYPES = ("meta", "span_begin", "span_end", "event", "metric")
 
 #: the only fields allowed to differ between two runs of the same search
 TIMING_FIELDS = ("ts", "dur")
+
+#: attribute keys carrying host timing — the attrs-level analog of
+#: :data:`TIMING_FIELDS`, stripped by :func:`repro.obs.reader.canonical`
+#: (``wall``: host seconds spent obtaining one eval result)
+TIMING_ATTRS = ("wall",)
+
+
+def parse_schema_version(value: Any) -> Tuple[int, int]:
+    """``(major, minor)`` of a trace's ``schema`` attribute.
+
+    Accepts the integer form version-1 traces wrote (minor 0) and the
+    current ``"major.minor"`` string.  Raises ``ValueError`` on anything
+    else — an unparseable version is an unknown major by definition.
+    """
+    if isinstance(value, bool):
+        raise ValueError(f"unparseable schema version {value!r}")
+    if isinstance(value, int):
+        return (value, 0)
+    if isinstance(value, str):
+        parts = value.split(".")
+        if 1 <= len(parts) <= 2 and all(p.isdigit() for p in parts):
+            return (int(parts[0]), int(parts[1]) if len(parts) == 2 else 0)
+    raise ValueError(f"unparseable schema version {value!r}")
+
+
+def check_schema_version(value: Any) -> Optional[str]:
+    """Apply the compatibility rule to a trace's ``schema`` attribute.
+
+    Returns ``None`` when this reader fully understands the version, a
+    human-readable *warning* when the trace has a newer minor (readable;
+    unknown attributes are ignored), and raises ``ValueError`` when the
+    major is not ours (the field semantics may have changed — refusing
+    loudly beats misreading silently).
+    """
+    current_major, current_minor = parse_schema_version(SCHEMA_VERSION)
+    try:
+        major, minor = parse_schema_version(value)
+    except ValueError as exc:
+        raise ValueError(
+            f"{exc}; this reader understands schema major {current_major}"
+        ) from None
+    if major != current_major:
+        raise ValueError(
+            f"trace schema major {major} is not supported (this reader "
+            f"understands major {current_major}); re-record the trace or "
+            f"upgrade repro"
+        )
+    if minor > current_minor:
+        return (
+            f"trace schema {major}.{minor} is newer than this reader's "
+            f"{SCHEMA_VERSION}; unknown attributes will be ignored"
+        )
+    return None
 
 _ALLOWED_FIELDS = {"seq", "ts", "type", "name", "span", "parent", "dur", "attrs"}
 _REQUIRED_FIELDS = ("seq", "ts", "type", "name")

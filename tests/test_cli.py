@@ -91,3 +91,58 @@ class TestCliTrace:
         chrome = json.loads(out_path.read_text())
         assert chrome["traceEvents"]
         assert {"name", "ph", "ts", "pid", "tid"} <= set(chrome["traceEvents"][0])
+
+
+class TestCliObservatory:
+    """The ISSUE 7 verbs: corpus / report accuracy / profile / bench trend."""
+
+    REFERENCE = "results/traces/mm_sgi_r10k.trace.jsonl"
+
+    @pytest.fixture(scope="class")
+    def trace_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("obs") / "matvec.trace.jsonl"
+        main(["tune", "matvec", "--size", "24", "--trace", str(path)])
+        return path
+
+    def test_corpus_ingest_list_stats_export(self, trace_path, capsys,
+                                             tmp_path):
+        root = str(tmp_path / "corpus")
+        main(["corpus", "ingest", str(trace_path), "--root", root])
+        out = capsys.readouterr().out
+        assert "ingested" in out
+        # content-addressed: re-ingesting the same trace is a no-op
+        main(["corpus", "ingest", str(trace_path), "--root", root])
+        assert "already present" in capsys.readouterr().out
+        main(["corpus", "list", "--root", root])
+        assert "matvec" in capsys.readouterr().out
+        main(["corpus", "stats", "--root", root])
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["traces"] == 1 and stats["evals"] > 0
+        csv_path = tmp_path / "corpus.csv"
+        main(["corpus", "export", "--root", root, "--format", "csv",
+              "-o", str(csv_path)])
+        header = csv_path.read_text().splitlines()[0]
+        assert header.startswith("trace,search,kernel,machine")
+
+    def test_report_accuracy_on_reference_trace(self, capsys):
+        main(["report", "accuracy", self.REFERENCE])
+        out = capsys.readouterr().out
+        assert "model accuracy — mm @ sgi-r10k-mini" in out
+        assert "worst misranking:" in out
+        assert "<- default" in out
+
+    def test_profile_on_reference_trace(self, capsys):
+        main(["profile", self.REFERENCE])
+        out = capsys.readouterr().out
+        assert "search profile — mm @ sgi-r10k-mini" in out
+        assert "self time" in out
+
+    def test_bench_trend_appends_history_row(self, capsys, tmp_path):
+        history = tmp_path / "history.jsonl"
+        main(["bench", "trend", "--out", str(history)])
+        out = capsys.readouterr().out
+        assert "appended to" in out
+        (line,) = history.read_text().splitlines()
+        row = json.loads(line)
+        assert "ts" in row and "host" in row
+        assert "sim" in row or "search" in row
