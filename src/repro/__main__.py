@@ -30,7 +30,12 @@ Commands:
   simulations (``BENCH_search.json``, floor
   ``benchmarks/perf/search_floor.json``; see ``docs/search.md``);
 * ``bench trend`` — append a summary row from the current
-  ``BENCH_*.json`` files to ``results/bench_history.jsonl``.
+  ``BENCH_*.json`` files to ``results/bench_history.jsonl``;
+* ``doctor [--repair]`` — scan the persistent stores (result cache,
+  trace corpus, checkpoint journals) for corrupt entries, orphaned temp
+  files and stale locks; ``--repair`` quarantines bad entries, removes
+  leftovers and rebuilds the corpus index from its trace blobs (see
+  ``docs/robustness.md``, "Storage integrity").
 
 ``tune`` prescreens tiling candidates with the analytical model by
 default (simulations the model can rule out are skipped);
@@ -53,7 +58,10 @@ Robustness options (see ``docs/robustness.md``): ``--timeout SECONDS``
 and ``--retries N`` supervise candidate execution; ``--checkpoint
 [DIR]`` journals completed search stages so ``--resume`` continues an
 interrupted run to the identical result; ``--inject-faults SPEC``
-deterministically injects candidate failures for chaos testing.
+deterministically injects candidate failures for chaos testing, and
+``--inject-fs-faults SPEC`` does the same to the storage layer (ENOSPC,
+torn writes, crash-before-rename, corrupt reads) — search results are
+unchanged by construction, only persistence suffers.
 """
 
 from __future__ import annotations
@@ -68,6 +76,7 @@ from repro.eval import EvalEngine, ResultCache
 from repro.kernels import KERNELS, get_kernel
 from repro.machines import MACHINES, get_machine
 from repro.sim import execute
+from repro.storage import StorageError
 
 _EXPERIMENTS = ("table1", "table4", "fig4", "fig5", "searchcost", "motivation", "generality")
 _DEFAULT_CACHE_DIR = "results/cache"
@@ -86,6 +95,15 @@ def _fault_plan_arg(text: str):
 
     try:
         return FaultPlan.parse(text)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error))
+
+
+def _fs_fault_plan_arg(text: str):
+    from repro.faults import FsFaultPlan
+
+    try:
+        return FsFaultPlan.parse(text)
     except ValueError as error:
         raise argparse.ArgumentTypeError(str(error))
 
@@ -137,6 +155,16 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
              'e.g. "raise=0.2,hang=0.1,kill=0.05,seed=7" '
              "(kinds: raise hang corrupt kill; options: seed attempts "
              "hang_seconds)",
+    )
+    parser.add_argument(
+        "--inject-fs-faults", type=_fs_fault_plan_arg, default=None,
+        metavar="SPEC",
+        help="chaos testing: deterministically inject filesystem faults "
+             "into the cache/journal stores, e.g. "
+             '"enospc=0.2,torn=0.2,crash=0.1,corrupt_read=0.2,seed=11" '
+             "(each fault fires at most once per store artifact; results "
+             "are unchanged, only persistence suffers — clean up with "
+             "`repro doctor --repair`)",
     )
 
 
@@ -264,6 +292,27 @@ def _parser() -> argparse.ArgumentParser:
     profile.add_argument("trace", metavar="TRACE.jsonl")
     profile.add_argument("-o", "--output", metavar="FILE", default=None,
                          help="write the report to FILE instead of stdout")
+
+    doctor = sub.add_parser(
+        "doctor",
+        help="scan (and --repair) the persistent stores for corruption, "
+             "orphaned temp files and stale locks",
+    )
+    doctor.add_argument("--cache", default=None, metavar="DIR",
+                        help=f"cache directory (default {_DEFAULT_CACHE_DIR})")
+    doctor.add_argument("--corpus", default=None, metavar="DIR",
+                        help="corpus directory (default results/corpus)")
+    doctor.add_argument("--checkpoints", default=None, metavar="DIR",
+                        help="checkpoint directory (default "
+                             f"{_DEFAULT_CHECKPOINT_DIR})")
+    doctor.add_argument("--repair", action="store_true",
+                        help="quarantine corrupt entries, remove orphaned "
+                             "temps and stale locks, rebuild the corpus "
+                             "index from its trace blobs")
+    doctor.add_argument("--json", action="store_true",
+                        help="emit the report as JSON instead of text")
+    doctor.add_argument("-o", "--output", metavar="FILE", default=None,
+                        help="write the report to FILE instead of stdout")
     return parser
 
 
@@ -302,7 +351,10 @@ def _cmd_tune(args) -> None:
         machine,
         jobs=args.jobs,
         workers=args.workers,
-        cache=ResultCache(args.cache) if args.cache else None,
+        cache=(
+            ResultCache(args.cache, fs_faults=args.inject_fs_faults)
+            if args.cache else None
+        ),
         tracer=tracer,
         policy=_engine_policy(args),
         fault_plan=args.inject_faults,
@@ -323,6 +375,7 @@ def _cmd_tune(args) -> None:
     optimizer = EcoOptimizer(
         kernel, machine, SearchConfig(prescreen=args.prescreen), engine=engine,
         checkpoint_path=checkpoint_path, resume=args.resume,
+        fs_faults=args.inject_fs_faults,
     )
     tuned = optimizer.optimize(_problem(kernel, args.size))
     if optimizer.journal is not None:
@@ -534,6 +587,26 @@ def _cmd_profile(args) -> None:
     _write_or_print(render_profile(load.events), args.output)
 
 
+def _cmd_doctor(args) -> None:
+    import json
+
+    from repro.storage.doctor import run_doctor
+
+    report = run_doctor(
+        cache=args.cache,
+        corpus=args.corpus,
+        checkpoints=args.checkpoints,
+        repair=args.repair,
+    )
+    if args.json:
+        text = json.dumps(report.as_dict(), indent=1, sort_keys=True)
+    else:
+        text = report.describe()
+    _write_or_print(text, args.output)
+    if not report.healthy:
+        raise SystemExit(1)
+
+
 def _cmd_experiments(
     names: List[str],
     jobs: int = 1,
@@ -544,6 +617,7 @@ def _cmd_experiments(
     checkpoint_dir: Optional[str] = None,
     resume: bool = False,
     workers: str = "processes",
+    fs_faults=None,
 ) -> None:
     from repro.experiments import fig4, fig5, runner, searchcost, table1, table4
 
@@ -553,7 +627,7 @@ def _cmd_experiments(
         jobs=jobs, cache_dir=cache_dir, trace=trace,
         policy=policy, fault_plan=fault_plan,
         checkpoint_dir=checkpoint_dir, resume=resume,
-        workers=workers,
+        workers=workers, fs_faults=fs_faults,
     )
     for name in names:
         if name == "table1":
@@ -598,7 +672,8 @@ def main(argv: Optional[List[str]] = None) -> None:
                              trace=args.trace, policy=_engine_policy(args),
                              fault_plan=args.inject_faults,
                              checkpoint_dir=args.checkpoint, resume=args.resume,
-                             workers=args.workers)
+                             workers=args.workers,
+                             fs_faults=args.inject_fs_faults)
         elif args.command == "bench":
             _cmd_bench(args)
         elif args.command == "trace":
@@ -609,11 +684,17 @@ def main(argv: Optional[List[str]] = None) -> None:
             _cmd_report(args)
         elif args.command == "profile":
             _cmd_profile(args)
+        elif args.command == "doctor":
+            _cmd_doctor(args)
     except BrokenPipeError:
         # stdout was closed mid-print (e.g. piped into `head`): exit quietly
         import os
 
         os._exit(0)
+    except StorageError as error:
+        # a store refused (corrupt journal/index, lock timeout): a clean
+        # actionable message, not a traceback
+        raise SystemExit(f"repro: {error}")
 
 
 if __name__ == "__main__":

@@ -609,8 +609,15 @@ def _main_trend(args) -> int:
     parent = os.path.dirname(out)
     if parent:
         os.makedirs(parent, exist_ok=True)
-    with open(out, "a") as handle:
-        handle.write(json.dumps(row, sort_keys=True) + "\n")
+    # One O_APPEND write: POSIX appends of a single small write are
+    # atomic, so concurrent `bench trend` runs (e.g. parallel CI jobs
+    # sharing a history file) interleave whole rows, never fragments.
+    line = (json.dumps(row, sort_keys=True) + "\n").encode()
+    fd = os.open(out, os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, line)
+    finally:
+        os.close(fd)
     with open(out) as handle:
         count = sum(1 for line in handle if line.strip())
     parts = []

@@ -91,6 +91,7 @@ class EcoOptimizer:
         engine: Optional[EvalEngine] = None,
         checkpoint_path: Optional[Union[str, Path]] = None,
         resume: bool = False,
+        fs_faults=None,
     ) -> None:
         self.kernel = kernel
         self.machine = machine
@@ -102,6 +103,9 @@ class EcoOptimizer:
         #: journal, so an interrupted tune continues where it died
         self.checkpoint_path = checkpoint_path
         self.resume = resume
+        #: optional seeded filesystem fault plan, forwarded to the journal
+        #: (the result cache takes its own reference at construction)
+        self.fs_faults = fs_faults
         #: the journal of the most recent :meth:`optimize` call (for
         #: callers that report resume provenance, e.g. ``tune --resume``)
         self.journal: Optional[SearchJournal] = None
@@ -148,6 +152,7 @@ class EcoOptimizer:
                 self.checkpoint_path,
                 scope=self.journal_scope(problem),
                 resume=self.resume,
+                fs_faults=self.fs_faults,
             )
         search = GuidedSearch(
             self.kernel, self.machine, problem, self.config, engine=self.engine,

@@ -235,6 +235,12 @@ class EvalStats:
     transient_failures: int = 0  # candidates whose retries ran out
     corrupt_results: int = 0  # attempts whose result failed validation
     disk_write_failures: int = 0  # cache entries that failed to persist
+    #: the subset of disk_write_failures caused by an out-of-space errno
+    #: (ENOSPC/EDQUOT) — the one storage failure with a distinct remedy
+    disk_write_failures_enospc: int = 0
+    #: corrupt on-disk cache entries moved to <cache>/quarantine/ and
+    #: re-counted as misses (see docs/robustness.md, "Storage integrity")
+    cache_quarantined: int = 0
     #: candidates the model prescreen bounded strictly worse than the
     #: stage's running best, so their simulation was skipped entirely
     #: (deterministic: a pure function of the candidate and the model)
@@ -284,6 +290,8 @@ class EvalStats:
             "transient_failures": self.transient_failures,
             "corrupt_results": self.corrupt_results,
             "disk_write_failures": self.disk_write_failures,
+            "disk_write_failures_enospc": self.disk_write_failures_enospc,
+            "cache_quarantined": self.cache_quarantined,
             "prescreen_skips": self.prescreen_skips,
             "sim_seconds": self.sim_seconds,
             "sim_accesses": self.sim_accesses,
@@ -535,6 +543,8 @@ class EvalEngine:
         #: engine then runs serially for the rest of its lifetime
         self._serial_fallback = False
         self._disk_failures_seen = 0
+        self._disk_enospc_seen = 0
+        self._quarantined_seen = 0
         #: in-flight / parked candidate state, by key (submit/resolve API)
         self._inflight: Dict[str, _Inflight] = {}
         #: first-seen cache-hit source per key: a disk entry is promoted to
@@ -1350,10 +1360,30 @@ class EvalEngine:
             self.tracer.event("pool_restart", pool_restarts=self.stats.pool_restarts)
 
     def _sync_disk_failures(self) -> None:
-        """Fold the cache's write-failure count into stats and metrics."""
+        """Fold the cache's storage counters into stats and metrics.
+
+        Deltas are tracked per counter so a cache shared between engines
+        attributes each failure exactly once; the write-failure metric is
+        split by errno class (``.enospc`` vs ``.other``) because a full
+        disk and a flaky mount call for different remedies.
+        """
         failures = getattr(self.cache, "disk_write_failures", 0)
         if failures > self._disk_failures_seen:
             delta = failures - self._disk_failures_seen
             self._disk_failures_seen = failures
             self.stats.disk_write_failures += delta
+            enospc = getattr(self.cache, "disk_write_failures_enospc", 0)
+            enospc_delta = min(delta, max(0, enospc - self._disk_enospc_seen))
+            self._disk_enospc_seen = enospc
+            self.stats.disk_write_failures_enospc += enospc_delta
+            self.metrics.counter("eval.disk_write_failures.enospc").inc(enospc_delta)
+            self.metrics.counter("eval.disk_write_failures.other").inc(
+                delta - enospc_delta
+            )
             self.metrics.counter("eval.disk_write_failures").inc(delta)
+        quarantined = getattr(self.cache, "quarantined_entries", 0)
+        if quarantined > self._quarantined_seen:
+            delta = quarantined - self._quarantined_seen
+            self._quarantined_seen = quarantined
+            self.stats.cache_quarantined += delta
+            self.metrics.counter("eval.cache_quarantined").inc(delta)

@@ -55,6 +55,7 @@ _POLICY: Optional[EvalPolicy] = None
 _FAULT_PLAN: Optional[FaultPlan] = None
 _CHECKPOINT_DIR: Optional[str] = None
 _RESUME: bool = False
+_FS_FAULTS = None
 
 
 def configure(
@@ -66,6 +67,7 @@ def configure(
     checkpoint_dir: Optional[str] = None,
     resume: bool = False,
     workers: str = "processes",
+    fs_faults=None,
 ) -> None:
     """Set evaluation parallelism, the on-disk result-cache directory and
     (optionally) a trace output path.
@@ -80,10 +82,13 @@ def configure(
     :class:`~repro.eval.EvalPolicy`), ``fault_plan`` injects deterministic
     failures for chaos runs, and ``checkpoint_dir`` journals each ECO
     tuning run to ``<dir>/<kernel>-<machine>-N<size>.json`` so an
-    interrupted run continues with ``resume=True``.
+    interrupted run continues with ``resume=True``.  ``fs_faults``
+    (a :class:`~repro.faults.FsFaultPlan`) injects seeded filesystem
+    faults into the disk cache and journal writes of every engine and
+    optimizer created afterwards.
     """
     global _JOBS, _WORKERS, _CACHE_DIR, _TRACE_PATH, _TRACER, _METRICS
-    global _POLICY, _FAULT_PLAN, _CHECKPOINT_DIR, _RESUME
+    global _POLICY, _FAULT_PLAN, _CHECKPOINT_DIR, _RESUME, _FS_FAULTS
     _JOBS = max(1, int(jobs))
     _WORKERS = workers
     _CACHE_DIR = cache_dir
@@ -94,6 +99,7 @@ def configure(
     _FAULT_PLAN = fault_plan
     _CHECKPOINT_DIR = checkpoint_dir
     _RESUME = resume
+    _FS_FAULTS = fs_faults
     clear_cache()
 
 
@@ -126,7 +132,11 @@ def engine_for(machine_name: str) -> EvalEngine:
             machine,
             jobs=_JOBS,
             workers=_WORKERS,
-            cache=ResultCache(_CACHE_DIR) if _CACHE_DIR else None,
+            cache=(
+                ResultCache(_CACHE_DIR, fs_faults=_FS_FAULTS)
+                if _CACHE_DIR
+                else None
+            ),
             tracer=_TRACER,
             metrics=_METRICS,
             policy=_POLICY,
@@ -181,6 +191,7 @@ def tuned_eco(kernel_name: str, machine_name: str, tuning_size: int) -> TunedKer
                 kernel_name, machine.name, tuning_size
             ),
             resume=_RESUME,
+            fs_faults=_FS_FAULTS,
         )
         _ECO_CACHE[key] = optimizer.optimize({"N": tuning_size})
         if optimizer.journal is not None and optimizer.journal.origin != "fresh":

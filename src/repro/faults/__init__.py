@@ -4,6 +4,7 @@ See :mod:`repro.faults.plan` for the design; ``docs/robustness.md`` for
 the failure model and usage.
 """
 
+from repro.faults.fsplan import FS_FAULT_KINDS, FsFaultPlan, FsFaultSpec
 from repro.faults.plan import (
     FAULT_KINDS,
     FaultKind,
@@ -17,9 +18,12 @@ from repro.faults.plan import (
 
 __all__ = [
     "FAULT_KINDS",
+    "FS_FAULT_KINDS",
     "FaultKind",
     "FaultPlan",
     "FaultSpec",
+    "FsFaultPlan",
+    "FsFaultSpec",
     "InjectedFault",
     "InjectedHang",
     "InjectedTransientError",

@@ -44,6 +44,14 @@ from repro.obs.reader import (
     trace_meta,
 )
 from repro.obs.schema import validate_event
+from repro.storage import (
+    FileLock,
+    StorageError,
+    is_sealed,
+    open_record,
+    quarantine_file,
+    write_sealed,
+)
 
 __all__ = [
     "Corpus",
@@ -253,16 +261,25 @@ def _search_identities(events: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
 class Corpus:
     """A directory of content-addressed traces plus their index.
 
-    The index file is rewritten atomically on every mutation (write to a
-    temp file in the same directory, then ``os.replace``) so a crashed
-    ingest never leaves a half-written index.
+    The index is a sealed, checksummed record (see :mod:`repro.storage`)
+    rewritten atomically on every mutation, and every mutation happens
+    under an advisory cross-process lock with the index re-read inside
+    the critical section — so concurrent ingesters into one corpus never
+    lose each other's entries.  A corrupt index is backed up to
+    ``<root>/quarantine/`` and refused with a pointer at
+    ``repro doctor --repair``, which rebuilds it from the trace blobs.
     """
 
     INDEX_VERSION = 1
+    #: kind tag of the sealed index record (see repro.storage.records)
+    INDEX_RECORD_KIND = "corpus-index"
 
-    def __init__(self, root: str = os.path.join("results", "corpus")):
+    def __init__(self, root: str = os.path.join("results", "corpus"), fs_faults=None):
         self.root = str(root)
         self.traces_dir = os.path.join(self.root, "traces")
+        #: optional seeded fault plan (repro.faults.FsFaultPlan) applied
+        #: to index writes
+        self.fs_faults = fs_faults
         self._index: Optional[Dict[str, Any]] = None
 
     # -- index persistence ----------------------------------------------
@@ -271,35 +288,65 @@ class Corpus:
     def index_path(self) -> str:
         return os.path.join(self.root, "index.json")
 
+    @property
+    def lock_path(self) -> str:
+        return os.path.join(self.root, ".lock")
+
     def _load_index(self) -> Dict[str, Any]:
         if self._index is None:
             try:
                 with open(self.index_path) as handle:
-                    self._index = json.load(handle)
+                    raw = handle.read()
             except FileNotFoundError:
                 self._index = {"version": self.INDEX_VERSION, "traces": {}}
-            if self._index.get("version") != self.INDEX_VERSION:
+                return self._index
+            try:
+                index = self.decode_index_text(raw)
+            except (StorageError, ValueError, KeyError, TypeError) as error:
+                backup = quarantine_file(
+                    self.root, self.index_path, f"corpus index: {error}"
+                )
+                where = backup if backup is not None else self.index_path
+                raise StorageError(
+                    f"{self.index_path}: corpus index corrupt ({error}); "
+                    f"moved to {where} — run 'repro doctor --repair' to "
+                    f"rebuild the index from the stored traces"
+                ) from None
+            if index.get("version") != self.INDEX_VERSION:
                 raise ValueError(
                     f"{self.index_path}: corpus index version "
-                    f"{self._index.get('version')!r} is not "
+                    f"{index.get('version')!r} is not "
                     f"{self.INDEX_VERSION} (rebuild the corpus)"
                 )
+            self._index = index
         return self._index
+
+    @classmethod
+    def decode_index_text(cls, raw: str) -> Dict[str, Any]:
+        """Pure decode + integrity check of index file text (no side
+        effects — ``repro doctor`` scans through this too)."""
+        payload = json.loads(raw)
+        if is_sealed(payload):
+            index = open_record(raw, cls.INDEX_RECORD_KIND)
+        elif isinstance(payload, dict):
+            # legacy pre-checksum index: readable so an upgrade keeps
+            # the accumulated corpus
+            index = payload
+        else:
+            raise ValueError("corpus index is not an object")
+        if not isinstance(index.get("traces"), dict):
+            raise ValueError("corpus index has no traces table")
+        return index
 
     def _save_index(self) -> None:
         os.makedirs(self.root, exist_ok=True)
-        payload = json.dumps(self._load_index(), sort_keys=True, indent=2)
-        fd, tmp = tempfile.mkstemp(dir=self.root, prefix=".index-")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(payload + "\n")
-            os.replace(tmp, self.index_path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        write_sealed(
+            self.index_path,
+            self.INDEX_RECORD_KIND,
+            self._load_index(),
+            fs_faults=self.fs_faults,
+            label="corpus/index",
+        )
 
     # -- ingest ----------------------------------------------------------
 
@@ -309,42 +356,74 @@ class Corpus:
         Every event is schema-validated (the consecutive-``seq`` check is
         relaxed once a truncated line was skipped); the stored bytes are
         the original file's — the canonical projection only names it.
+
+        The whole check-blob-index sequence runs under the corpus lock
+        with the index re-read inside it, so concurrent ingesters can't
+        lose each other's entries to a read-modify-write race; the blob
+        itself is written atomically (temp + rename) so a crashed ingest
+        never leaves a truncated trace behind.
         """
         load: TraceLoad = read_trace(path, validate=True)
         if not load.events:
             raise ValueError(f"{path}: no readable trace events")
         tid = trace_id(load.events)
-        index = self._load_index()
-        existing = index["traces"].get(tid)
-        if existing is not None:
-            return IngestResult(tid, False, existing, list(load.warnings))
-        meta = trace_meta(load.events)
-        rows = flatten_trace(load.events, tid)
-        entry = {
+        os.makedirs(self.root, exist_ok=True)
+        with FileLock(self.lock_path):
+            self._index = None  # another process may have ingested since
+            index = self._load_index()
+            existing = index["traces"].get(tid)
+            if existing is not None:
+                return IngestResult(tid, False, existing, list(load.warnings))
+            entry = self.entry_for(load.events, tid, os.path.basename(str(path)))
+            entry["skipped_lines"] = load.skipped_lines
+            os.makedirs(self.traces_dir, exist_ok=True)
+            with open(path, "rb") as src:
+                data = src.read()
+            fd, tmp = tempfile.mkstemp(dir=self.traces_dir, prefix=".tmp-")
+            try:
+                with os.fdopen(fd, "wb") as dst:
+                    dst.write(data)
+                os.replace(tmp, self.trace_path(tid))
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            index["traces"][tid] = entry
+            self._save_index()
+        return IngestResult(tid, True, entry, list(load.warnings))
+
+    @classmethod
+    def entry_for(
+        cls, events: List[Dict[str, Any]], tid: str, source_name: str
+    ) -> Dict[str, Any]:
+        """The index entry describing one trace's events.
+
+        Shared by :meth:`ingest` and the doctor's index rebuild, so a
+        rebuilt index is field-identical to an incrementally-grown one
+        (``skipped_lines`` excepted: the blob was already cleaned at
+        original ingest, so a rebuild counts 0).
+        """
+        meta = trace_meta(events)
+        rows = flatten_trace(events, tid)
+        return {
             "id": tid,
             "schema": meta.get("schema"),
-            "ingested_from": os.path.basename(str(path)),
-            "searches": _search_identities(load.events),
-            "events": len(load.events),
+            "ingested_from": source_name,
+            "searches": _search_identities(events),
+            "events": len(events),
             "evals": len(rows),
             "sims": sum(1 for r in rows if r["source"] == "sim"),
             "cache_hits": sum(1 for r in rows if r["kind"] == "cache"),
             "infeasible": sum(1 for r in rows if r["status"] == "infeasible"),
             "prescreen_skips": sum(
-                1 for e in load.events
+                1 for e in events
                 if e.get("type") == "event"
                 and e.get("name") == "prescreen_skip"
             ),
-            "skipped_lines": load.skipped_lines,
+            "skipped_lines": 0,
         }
-        os.makedirs(self.traces_dir, exist_ok=True)
-        with open(path, "rb") as src:
-            data = src.read()
-        with open(self.trace_path(tid), "wb") as dst:
-            dst.write(data)
-        index["traces"][tid] = entry
-        self._save_index()
-        return IngestResult(tid, True, entry, list(load.warnings))
 
     # -- read side -------------------------------------------------------
 

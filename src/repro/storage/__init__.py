@@ -1,0 +1,56 @@
+"""Storage-integrity layer shared by every persistent store.
+
+`repro` persists three kinds of state under ``results/``: the
+content-addressed result cache (``repro.eval.cache``), the crash-safe
+search journal (``repro.core.checkpoint``), and the trace corpus
+(``repro.obs.corpus``).  The tuning-as-a-service direction (ROADMAP)
+has N concurrent processes sharing all three, so this package provides
+the common substrate they are wired through:
+
+- :mod:`repro.storage.records` — sealed, checksummed record envelopes
+  verified on every read (:func:`seal_record` / :func:`open_record`).
+- :mod:`repro.storage.locks` — advisory cross-process file locking
+  with stale-lock detection (:class:`FileLock`).
+- :mod:`repro.storage.atomic` — the write-to-temp + rename discipline
+  with seeded filesystem-fault hooks (:func:`write_sealed` /
+  :func:`read_sealed`).
+- :mod:`repro.storage.quarantine` — corrupt entries are preserved in
+  ``<store>/quarantine/`` for audit, never silently deleted
+  (:func:`quarantine_file`).
+- :mod:`repro.storage.doctor` — the scan/repair engine behind
+  ``repro doctor``.
+
+See docs/robustness.md ("Storage integrity") for the failure model and
+the behavior contract of each store.
+"""
+
+from .atomic import TMP_PREFIX, read_sealed, write_sealed
+from .locks import FileLock, LockTimeout, lock_is_stale
+from .quarantine import QUARANTINE_DIR, quarantine_file
+from .records import (
+    RECORD_FORMAT,
+    RecordError,
+    StorageError,
+    body_checksum,
+    is_sealed,
+    open_record,
+    seal_record,
+)
+
+__all__ = [
+    "FileLock",
+    "LockTimeout",
+    "QUARANTINE_DIR",
+    "RECORD_FORMAT",
+    "RecordError",
+    "StorageError",
+    "TMP_PREFIX",
+    "body_checksum",
+    "is_sealed",
+    "lock_is_stale",
+    "open_record",
+    "quarantine_file",
+    "read_sealed",
+    "seal_record",
+    "write_sealed",
+]

@@ -2,15 +2,16 @@
 
 The disk cache is shared state that outlives any single run, so its
 failure modes are the dangerous ones: a torn or mismatched entry must
-degrade to re-simulation (never a crash, never a wrong result), failed
-writes must be counted and warned about instead of silently dropping
-persistence, and transient evaluation failures must never be written to
-disk at all — a cached ``inf`` would poison every future search that
-visits the same candidate.
+degrade to re-simulation (never a crash, never a wrong result) and be
+quarantined as evidence, failed writes must be counted and warned about
+instead of silently dropping persistence, and transient evaluation
+failures must never be written to disk at all — a cached ``inf`` would
+poison every future search that visits the same candidate.
 """
 
 from __future__ import annotations
 
+import errno
 import json
 import math
 import os
@@ -21,9 +22,11 @@ import pytest
 
 from repro.core import GuidedSearch, derive_variants
 from repro.eval import CachedResult, EvalEngine, EvalRequest, ResultCache
+from repro.eval.cache import CACHE_RECORD_KIND
 from repro.faults import FaultPlan, FaultSpec
 from repro.kernels import matmul
 from repro.machines import get_machine
+from repro.storage import open_record, seal_record
 
 SGI = get_machine("sgi")
 
@@ -39,6 +42,14 @@ def _entry_file(cache: ResultCache) -> Path:
     files = list(Path(cache.path).rglob("*.json"))
     assert len(files) == 1
     return files[0]
+
+
+def _tamper(file: Path, **changes) -> None:
+    """Rewrite a sealed entry with body fields changed but a *valid*
+    checksum — simulating a semantically wrong (not torn) entry."""
+    body = open_record(file.read_text(), CACHE_RECORD_KIND)
+    body.update(changes)
+    file.write_text(seal_record(CACHE_RECORD_KIND, body))
 
 
 def _prime(tmp_path) -> tuple:
@@ -65,14 +76,30 @@ class TestCorruptEntries:
         assert again.cycles == outcome.cycles
         assert again.source == "sim"  # re-simulated, not served corrupt
         assert engine.cache.corrupt_entries == 1
-        assert not file.exists() or file.read_text()  # repaired by the put
+        # the torn entry is preserved in quarantine, and the re-put
+        # repaired the live slot
+        assert engine.cache.quarantined_entries == 1
+        assert (Path(cache.path) / "quarantine" / file.name).exists()
+        assert file.exists() and file.read_text()
+
+    def test_checksum_mismatch_resimulates(self, tmp_path):
+        # a single flipped byte inside a well-formed JSON entry: only the
+        # checksum can catch this
+        cache, request, outcome = _prime(tmp_path)
+        file = _entry_file(cache)
+        payload = json.loads(file.read_text())
+        payload["body"]["cycles"] = (payload["body"]["cycles"] or 0) + 1
+        file.write_text(json.dumps(payload))
+        engine = self._fresh_lookup(cache.path, request)
+        again = engine.evaluate_batch([request])[0]
+        assert again.source == "sim"
+        assert again.cycles == outcome.cycles  # never served the tampered value
+        assert engine.cache.corrupt_entries == 1
 
     def test_key_mismatch_resimulates(self, tmp_path):
         cache, request, outcome = _prime(tmp_path)
         file = _entry_file(cache)
-        payload = json.loads(file.read_text())
-        payload["key"] = "0" * 64
-        file.write_text(json.dumps(payload))
+        _tamper(file, key="0" * 64)
         engine = self._fresh_lookup(cache.path, request)
         again = engine.evaluate_batch([request])[0]
         assert again.source == "sim"
@@ -82,14 +109,26 @@ class TestCorruptEntries:
     def test_version_mismatch_resimulates(self, tmp_path):
         cache, request, outcome = _prime(tmp_path)
         file = _entry_file(cache)
-        payload = json.loads(file.read_text())
-        payload["version"] = 999
-        file.write_text(json.dumps(payload))
+        _tamper(file, version=999)
         engine = self._fresh_lookup(cache.path, request)
         again = engine.evaluate_batch([request])[0]
         assert again.source == "sim"
         assert again.cycles == outcome.cycles
         assert engine.cache.corrupt_entries == 1
+
+    def test_legacy_unsealed_entry_still_readable(self, tmp_path):
+        # a pre-checksum (format 1) cache survives the upgrade: entries
+        # are served, not quarantined
+        cache, request, outcome = _prime(tmp_path)
+        file = _entry_file(cache)
+        body = open_record(file.read_text(), CACHE_RECORD_KIND)
+        body["version"] = 1
+        file.write_text(json.dumps(body))
+        engine = self._fresh_lookup(cache.path, request)
+        again = engine.evaluate_batch([request])[0]
+        assert again.source == "disk"
+        assert again.cycles == outcome.cycles
+        assert engine.cache.corrupt_entries == 0
 
     def test_unreadable_file_is_a_miss(self, tmp_path):
         if os.geteuid() == 0:
@@ -107,20 +146,44 @@ class TestCorruptEntries:
         finally:
             file.chmod(0o644)
 
-    def test_corrupt_entry_unlink_failure_is_tolerated(self, tmp_path, monkeypatch):
+    def test_corrupt_entry_quarantine_failure_is_tolerated(
+        self, tmp_path, monkeypatch
+    ):
         cache, request, outcome = _prime(tmp_path)
         file = _entry_file(cache)
         file.write_text("{ not json")
+        # neither the quarantine move nor the fallback unlink works: the
+        # entry must still just be a miss, no crash
+        monkeypatch.setattr(
+            "repro.storage.quarantine.os.replace",
+            lambda *a, **k: (_ for _ in ()).throw(OSError()),
+        )
         monkeypatch.setattr(
             Path, "unlink", lambda self, *a, **k: (_ for _ in ()).throw(OSError())
         )
         fresh = ResultCache(cache.path)
-        # the corrupt file cannot even be removed: still a miss, no crash
         engine = EvalEngine(SGI, cache=fresh)
         again = engine.evaluate_batch([request])[0]
         assert again.source == "sim"
         assert again.cycles == outcome.cycles
         assert fresh.corrupt_entries >= 1
+        assert fresh.quarantined_entries == 0
+
+    def test_quarantine_preserves_evidence_and_counts(self, tmp_path):
+        cache, request, outcome = _prime(tmp_path)
+        file = _entry_file(cache)
+        torn = file.read_text()[:40]
+        file.write_text(torn)
+        fresh = ResultCache(cache.path)
+        engine = EvalEngine(SGI, cache=fresh)
+        engine.evaluate_batch([request])
+        qdir = Path(cache.path) / "quarantine"
+        assert (qdir / file.name).read_text() == torn  # evidence intact
+        log = (qdir / "log.jsonl").read_text().strip().splitlines()
+        assert json.loads(log[-1])["file"] == file.name
+        # surfaced through the engine's stats and metrics
+        assert engine.stats.cache_quarantined == 1
+        assert engine.metrics.counter("eval.cache_quarantined").value == 1
 
 
 class TestWriteFailures:
@@ -137,10 +200,37 @@ class TestWriteFailures:
             cache.put("cd" * 32, CachedResult(2.0, None))
         assert cache.disk_write_failures == 2
         runtime = [w for w in caught if issubclass(w.category, RuntimeWarning)]
-        assert len(runtime) == 1  # warned once, counted twice
+        assert len(runtime) == 1  # warned once per errno class, counted twice
         assert "not persisting" in str(runtime[0].message)
         # the results survive in memory regardless
         assert cache.get_memory("ab" * 32).cycles == 1.0
+
+    def test_write_failures_split_by_errno_class(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path / "cache")
+        failures = iter(
+            [
+                OSError(errno.ENOSPC, "no space left on device"),
+                OSError(errno.EACCES, "permission denied"),
+            ]
+        )
+
+        def boom(*args, **kwargs):
+            raise next(failures)
+
+        monkeypatch.setattr("tempfile.mkstemp", boom)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            cache.put("ab" * 32, CachedResult(1.0, None))
+            cache.put("cd" * 32, CachedResult(2.0, None))
+        assert cache.disk_write_failures == 2
+        assert cache.disk_write_failures_enospc == 1
+        runtime = [w for w in caught if issubclass(w.category, RuntimeWarning)]
+        # distinct classes each get their own (single) warning, and the
+        # warning names the errno and the path it failed on
+        assert len(runtime) == 2
+        assert "ENOSPC" in str(runtime[0].message)
+        assert ("ab" * 32) in str(runtime[0].message)
+        assert "EACCES" in str(runtime[1].message)
 
     def test_engine_surfaces_write_failures_in_stats(self, tmp_path, monkeypatch):
         cache = ResultCache(tmp_path / "cache")

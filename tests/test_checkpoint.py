@@ -24,6 +24,7 @@ from repro.baselines.annealing import AnnealingSearch
 from repro.baselines.randomsearch import RandomSearch
 from repro.core import EcoOptimizer, SearchConfig
 from repro.core.checkpoint import (
+    JournalCorruptError,
     SearchJournal,
     decode_cycles,
     decode_prefetch,
@@ -87,13 +88,45 @@ class TestJournal:
         assert other.origin == "discarded"
         assert other.get("s", "k") is None
 
-    def test_corrupt_file_discards(self, tmp_path):
+    def test_corrupt_file_refuses_resume_with_backup(self, tmp_path):
+        # A torn journal may hold real lost work: resume refuses loudly
+        # (naming the quarantine backup) instead of silently starting over.
         path = tmp_path / "j.json"
         path.write_text("{ torn mid-write")
+        with pytest.raises(JournalCorruptError) as exc:
+            SearchJournal(path, scope=self.SCOPE, resume=True)
+        assert "refusing to resume" in str(exc.value)
+        backup = exc.value.backup
+        assert backup is not None and backup.read_text() == "{ torn mid-write"
+        assert not path.exists()  # moved aside, not copied
+        # with the corrupt file quarantined, the same path works fresh
         journal = SearchJournal(path, scope=self.SCOPE, resume=True)
-        assert journal.origin == "discarded"
-        journal.record("s", "k", 1)  # and the next record repairs the file
+        assert journal.origin == "fresh"
+        journal.record("s", "k", 1)
         assert SearchJournal(path, scope=self.SCOPE).get("s", "k") == 1
+
+    def test_checksum_mismatch_refuses_resume(self, tmp_path):
+        # Valid JSON, wrong bytes: only the sealed checksum catches this.
+        path = tmp_path / "j.json"
+        SearchJournal(path, scope=self.SCOPE, resume=False).record("s", "k", 1)
+        payload = json.loads(path.read_text())
+        payload["body"]["sections"]["s"]["k"] = 2
+        path.write_text(json.dumps(payload))
+        with pytest.raises(JournalCorruptError):
+            SearchJournal(path, scope=self.SCOPE, resume=True)
+
+    def test_legacy_unsealed_journal_resumes(self, tmp_path):
+        # A pre-checksum journal written by the previous format is still
+        # resumable after the upgrade.
+        path = tmp_path / "j.json"
+        reference = SearchJournal(path, scope=self.SCOPE, resume=False)
+        path.write_text(json.dumps({
+            "version": 1, "scope": reference.scope,
+            "sections": {"s": {"k": 41}},
+        }))
+        journal = SearchJournal(path, scope=self.SCOPE, resume=True)
+        assert journal.origin == "resumed"
+        assert journal.get("s", "k") == 41
 
     def test_wrong_version_discards(self, tmp_path):
         path = tmp_path / "j.json"

@@ -146,3 +146,51 @@ class TestCliObservatory:
         row = json.loads(line)
         assert "ts" in row and "host" in row
         assert "sim" in row or "search" in row
+
+
+class TestCliDoctor:
+    """The ISSUE 8 verb: doctor scans (and repairs) the stores."""
+
+    def _args(self, tmp_path, *extra):
+        return [
+            "doctor",
+            "--cache", str(tmp_path / "cache"),
+            "--corpus", str(tmp_path / "corpus"),
+            "--checkpoints", str(tmp_path / "ck"),
+            *extra,
+        ]
+
+    def test_absent_stores_are_healthy(self, capsys, tmp_path):
+        main(self._args(tmp_path))
+        out = capsys.readouterr().out
+        assert "storage integrity report" in out
+        assert "status: healthy" in out
+
+    def test_problems_exit_nonzero_and_repair_heals(self, capsys, tmp_path):
+        from repro.eval import CachedResult, ResultCache
+
+        cache = ResultCache(tmp_path / "cache")
+        cache.put("ab" * 32, CachedResult(1.0, None))
+        file = next(iter((tmp_path / "cache").rglob("*.json")))
+        file.write_text(file.read_text()[:20])
+
+        with pytest.raises(SystemExit):
+            main(self._args(tmp_path))
+        out = capsys.readouterr().out
+        assert "1 corrupt" in out and "--repair" in out
+
+        main(self._args(tmp_path, "--repair"))
+        assert "quarantined" in capsys.readouterr().out
+        main(self._args(tmp_path))  # the second pass is clean: exit 0
+        assert "status: healthy" in capsys.readouterr().out
+
+    def test_json_report(self, capsys, tmp_path):
+        main(self._args(tmp_path, "--json"))
+        report = json.loads(capsys.readouterr().out)
+        assert report["healthy"] is True
+        assert set(report["stores"]) == {"cache", "corpus", "checkpoints"}
+
+    def test_fs_fault_spec_rejected_with_message(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["tune", "mm", "--size", "12",
+                  "--inject-fs-faults", "meteor=0.5"])

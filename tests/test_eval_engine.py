@@ -176,7 +176,7 @@ class TestResultCache:
         assert again.source == "sim"  # graceful: re-ran instead of crashing
         assert again.cycles == out.cycles
         # and the entry was repaired on disk
-        assert json.loads(file.read_text())["key"] == out.key
+        assert json.loads(file.read_text())["body"]["key"] == out.key
 
 
 class TestEngineAccounting:

@@ -190,10 +190,14 @@ class TestCorpusIngest:
         assert corpus.export("csv").startswith(",".join(ROW_COLUMNS))
         with pytest.raises(ValueError):
             corpus.export("parquet")
-        # the index on disk is byte-deterministic (sorted keys)
+        # the index on disk is byte-deterministic: a sealed record whose
+        # canonical re-serialization reproduces the exact bytes
+        from repro.obs.corpus import Corpus as C
+        from repro.storage import open_record, seal_record
+
         on_disk = (tmp_path / "corpus" / "index.json").read_text()
-        assert on_disk == json.dumps(
-            json.loads(on_disk), sort_keys=True, indent=2) + "\n"
+        body = open_record(on_disk, C.INDEX_RECORD_KIND)
+        assert on_disk == seal_record(C.INDEX_RECORD_KIND, body)
 
     def test_ingest_legacy_schema_1_trace(self, tmp_path):
         corpus = Corpus(str(tmp_path / "corpus"))

@@ -1,0 +1,122 @@
+"""Multi-process storage stress: N tunes sharing one disk cache.
+
+The concurrency claim of the storage layer is cross-*process*, not just
+cross-thread: several ``tune`` invocations pointed at one
+``results/cache/`` must never lose or corrupt entries, even when they
+race to evaluate (and persist) the same candidates.  Each worker here is
+a real subprocess running real evaluations over one overlapping request
+set; afterwards the shared store must be pristine (doctor-clean) and
+complete (a fresh engine serves everything from disk, zero simulations).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.core import GuidedSearch, derive_variants
+from repro.eval import EvalEngine, EvalRequest, ResultCache
+from repro.kernels import matmul
+from repro.machines import get_machine
+from repro.storage.doctor import scan_cache
+
+SRC_DIR = str(Path(__file__).resolve().parent.parent / "src")
+PROCESSES = 4
+SIZE = 12
+
+# Every worker evaluates the same candidate set: the initial values of
+# the first few variants at a couple of problem sizes, so all processes
+# contend on the same shards and the same keys.
+WORKER = """
+import sys
+from repro.core import GuidedSearch, derive_variants
+from repro.eval import EvalEngine, EvalRequest, ResultCache
+from repro.kernels import matmul
+from repro.machines import get_machine
+
+machine = get_machine("sgi")
+kernel = matmul()
+requests = []
+for size in (12, 16):
+    for variant in derive_variants(kernel, machine)[:4]:
+        values = GuidedSearch(kernel, machine, {"N": size}).initial_values(variant)
+        requests.append(EvalRequest.build(kernel, variant, values, {"N": size}))
+engine = EvalEngine(machine, cache=ResultCache(sys.argv[1]))
+outcomes = engine.evaluate_batch(requests)
+assert all(o.status in ("ok", "infeasible") for o in outcomes)
+print(len(requests))
+"""
+
+
+def _requests():
+    machine = get_machine("sgi")
+    kernel = matmul()
+    requests = []
+    for size in (12, 16):
+        for variant in derive_variants(kernel, machine)[:4]:
+            values = GuidedSearch(kernel, machine, {"N": size}).initial_values(
+                variant
+            )
+            requests.append(EvalRequest.build(kernel, variant, values, {"N": size}))
+    return requests
+
+
+class TestMultiProcessCache:
+    def _hammer(self, cache_dir: Path) -> None:
+        env = dict(os.environ, PYTHONPATH=SRC_DIR)
+        workers = [
+            subprocess.Popen(
+                [sys.executable, "-c", WORKER, str(cache_dir)],
+                env=env,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+            )
+            for _ in range(PROCESSES)
+        ]
+        for worker in workers:
+            out, err = worker.communicate(timeout=300)
+            assert worker.returncode == 0, err
+            assert out.strip() == str(len(_requests()))
+
+    def test_concurrent_writers_lose_nothing(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        self._hammer(cache_dir)
+
+        # nothing corrupt, nothing stranded: the store is doctor-clean
+        report = scan_cache(cache_dir)
+        assert report.healthy, report.describe()
+        assert report.corrupt == 0
+        assert report.entries == report.ok
+
+        # nothing lost: a cold engine serves the whole set from disk
+        engine = EvalEngine(get_machine("sgi"), cache=ResultCache(cache_dir))
+        outcomes = engine.evaluate_batch(_requests())
+        assert engine.stats.simulations == 0
+        assert all(o.source == "disk" for o in outcomes)
+
+        # and the contended values are consistent: every worker computed
+        # (or read) the same result for the same key
+        assert report.entries == len({o.key for o in outcomes})
+
+    def test_corrupted_entry_degrades_not_fails(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        self._hammer(cache_dir)
+        victim = sorted(cache_dir.rglob("*.json"))[0]
+        victim.write_text(victim.read_text()[:25])
+
+        cache = ResultCache(cache_dir)
+        engine = EvalEngine(get_machine("sgi"), cache=cache)
+        outcomes = engine.evaluate_batch(_requests())
+        # exactly the torn entry re-simulated; everything else from disk
+        assert engine.stats.simulations == 1
+        assert cache.corrupt_entries == 1
+        assert cache.quarantined_entries == 1
+        assert (cache_dir / "quarantine" / victim.name).exists()
+        assert all(o.status in ("ok", "infeasible") for o in outcomes)
+        # the re-simulation healed the live slot: next run is all-disk
+        cold = EvalEngine(get_machine("sgi"), cache=ResultCache(cache_dir))
+        cold.evaluate_batch(_requests())
+        assert cold.stats.simulations == 0
