@@ -25,7 +25,7 @@ the behavior contract of each store.
 """
 
 from .atomic import TMP_PREFIX, read_sealed, write_sealed
-from .locks import FileLock, LockTimeout, lock_is_stale
+from .locks import FileLock, LockTimeout, lock_is_stale, remove_stale_lock
 from .quarantine import QUARANTINE_DIR, quarantine_file
 from .records import (
     RECORD_FORMAT,
@@ -51,6 +51,7 @@ __all__ = [
     "open_record",
     "quarantine_file",
     "read_sealed",
+    "remove_stale_lock",
     "seal_record",
     "write_sealed",
 ]

@@ -31,8 +31,14 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
-from .locks import lock_is_stale
+from .locks import lock_is_stale, remove_stale_lock
 from .quarantine import QUARANTINE_DIR, quarantine_file
+from .records import RecordError
+
+#: everything a store validator raises for content that parses but must
+#: not be trusted: RecordError for sealed-envelope failures (checksum or
+#: kind mismatch on valid JSON), the rest for structural damage.
+_CORRUPT_ERRORS = (RecordError, ValueError, KeyError, TypeError)
 
 __all__ = ["DoctorReport", "StoreReport", "run_doctor"]
 
@@ -169,17 +175,15 @@ def _sweep_housekeeping(report: StoreReport, root: Path, repair: bool) -> None:
                 except OSError:
                     pass
         elif _is_lockfile(file.name):
-            if lock_is_stale(file):
+            if repair:
+                # remove_stale_lock unlinks while holding the flock, so a
+                # lock a live process grabs between scan and repair is
+                # left alone (it is simply no longer stale).
+                if remove_stale_lock(file):
+                    report.repairs.append(f"removed stale lock {file}")
+            elif lock_is_stale(file):
                 report.stale_locks += 1
                 report.problems.append(f"{file}: stale lockfile")
-                if repair:
-                    try:
-                        file.unlink()
-                        report.stale_locks -= 1
-                        report.problems.pop()
-                        report.repairs.append(f"removed stale lock {file}")
-                    except OSError:
-                        pass
     qdir = root / QUARANTINE_DIR
     if qdir.is_dir():
         report.quarantined = sum(
@@ -229,7 +233,7 @@ def scan_cache(root, repair: bool = False) -> StoreReport:
             except OSError as error:
                 report.problems.append(f"{file}: unreadable ({error})")
                 continue
-            except (ValueError, KeyError, TypeError) as error:
+            except _CORRUPT_ERRORS as error:
                 _quarantine_corrupt(report, root, file, str(error), repair)
                 continue
             report.ok += 1
@@ -260,7 +264,7 @@ def scan_checkpoints(root, repair: bool = False) -> StoreReport:
         except JournalForeign:
             report.ok += 1  # a future version's journal is not damage
             continue
-        except (ValueError, KeyError, TypeError) as error:
+        except _CORRUPT_ERRORS as error:
             _quarantine_corrupt(report, root, file, str(error), repair)
             continue
         report.ok += 1
@@ -302,7 +306,7 @@ def scan_corpus(root, repair: bool = False) -> StoreReport:
                 )
             old_entries = dict(index["traces"])
             report.ok += 1
-        except (ValueError, KeyError, TypeError) as error:
+        except _CORRUPT_ERRORS as error:
             index_corrupt = True
             _quarantine_corrupt(report, root, index_path, str(error), repair)
 

@@ -41,7 +41,7 @@ try:  # pragma: no cover - import guard exercised only off-POSIX
 except ImportError:  # pragma: no cover
     fcntl = None  # type: ignore[assignment]
 
-__all__ = ["FileLock", "LockTimeout", "lock_is_stale"]
+__all__ = ["FileLock", "LockTimeout", "lock_is_stale", "remove_stale_lock"]
 
 
 class LockTimeout(StorageError):
@@ -182,7 +182,12 @@ def lock_is_stale(path) -> bool:
     if not path.exists():
         return False
     if fcntl is not None:
-        fd = os.open(path, os.O_RDWR)
+        try:
+            fd = os.open(path, os.O_RDWR)
+        except OSError:
+            # The holder may release (which unlinks) between the exists()
+            # check and here: nobody holds it, nothing to clean up.
+            return False
         try:
             fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
         except OSError:
@@ -196,3 +201,49 @@ def lock_is_stale(path) -> bool:
     except (OSError, ValueError):
         return True
     return FileLock._pid_is_dead(pid)
+
+
+def remove_stale_lock(path) -> bool:
+    """Remove ``path`` iff it is a stale lockfile, without ever racing a
+    live holder.  Returns whether the file was removed.
+
+    ``lock_is_stale`` followed by ``unlink`` is a TOCTOU: in the gap
+    between dropping the probe flock and unlinking, a live process can
+    acquire the lockfile; unlinking it then lets a newcomer create a
+    fresh file at the same path and two processes "hold" the lock at
+    once.  Here the unlink happens *while the flock is held* (mirroring
+    :meth:`FileLock.release`), after re-checking that our fd still names
+    the file at ``path`` — so we only ever remove an inode we exclusively
+    hold.
+    """
+    path = Path(path)
+    if fcntl is not None:
+        try:
+            fd = os.open(path, os.O_RDWR)
+        except OSError:
+            return False  # already gone (or unreadable): nothing we can remove
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            os.close(fd)
+            return False  # held: not stale
+        try:
+            current = os.stat(path)
+            mine = os.fstat(fd)
+            if (current.st_ino, current.st_dev) != (mine.st_ino, mine.st_dev):
+                raise FileNotFoundError  # fresh file appeared at path; not ours
+            os.unlink(path)
+        except OSError:
+            os.close(fd)
+            return False
+        os.close(fd)  # closing drops the flock on the (now unlinked) inode
+        return True
+    # O_EXCL fallback: no flock to hold, dead-pid detection is the best
+    # staleness signal available.
+    if not lock_is_stale(path):
+        return False
+    try:
+        path.unlink()
+    except OSError:
+        return False
+    return True

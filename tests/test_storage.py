@@ -37,10 +37,16 @@ from repro.storage import (
     lock_is_stale,
     open_record,
     quarantine_file,
+    remove_stale_lock,
     seal_record,
     write_sealed,
 )
-from repro.storage.doctor import run_doctor, scan_cache, scan_corpus
+from repro.storage.doctor import (
+    run_doctor,
+    scan_cache,
+    scan_checkpoints,
+    scan_corpus,
+)
 
 SGI = get_machine("sgi")
 REFERENCE_TRACE = os.path.join("results", "traces", "mm_sgi_r10k.trace.jsonl")
@@ -136,6 +142,37 @@ class TestFileLock:
         with FileLock(path):  # a stale lock never blocks acquisition
             assert not lock_is_stale(path)
         assert not lock_is_stale(tmp_path / "absent.lock")
+
+    def test_stale_check_survives_release_race(self, tmp_path, monkeypatch):
+        """The holder can release (unlinking the lockfile) between the
+        exists() check and the open — that's an absent lock, not a crash."""
+        path = tmp_path / ".lock"
+        path.write_text("999999")
+        real_open = os.open
+
+        def vanished(target, *args, **kwargs):
+            if Path(target) == path:
+                path.unlink()
+                raise FileNotFoundError(target)
+            return real_open(target, *args, **kwargs)
+
+        monkeypatch.setattr(os, "open", vanished)
+        assert not lock_is_stale(path)
+
+    def test_remove_stale_lock(self, tmp_path):
+        path = tmp_path / ".lock"
+        path.write_text("999999")  # crashed holder
+        assert remove_stale_lock(path)
+        assert not path.exists()
+        assert not remove_stale_lock(path)  # already gone: nothing removed
+
+    def test_remove_stale_lock_leaves_held_lock_alone(self, tmp_path):
+        """Unlinking happens under the flock, so a lock that went live
+        after a stale sighting is never yanked out from under its holder."""
+        path = tmp_path / ".lock"
+        with FileLock(path):
+            assert not remove_stale_lock(path)
+            assert path.exists()
 
 
 # -- quarantine ---------------------------------------------------------
@@ -353,6 +390,41 @@ class TestDoctor:
         second = scan_cache(root)
         assert second.healthy and second.corrupt == 0
         assert second.ok == 3  # the quarantined entry is gone from live
+
+    def test_valid_json_bad_checksum_is_quarantined(self, tmp_path):
+        """A sealed entry whose body was altered still parses as JSON but
+        fails the checksum with RecordError (not ValueError) — the doctor
+        must quarantine it like any other corruption, not crash."""
+        cache = self._primed_cache(tmp_path)
+        root = Path(cache.path)
+        victim = next(iter(sorted(root.rglob("*.json"))))
+        payload = json.loads(victim.read_text())
+        payload["body"]["__tampered__"] = True  # valid JSON, wrong sha256
+        victim.write_text(json.dumps(payload))
+
+        found = scan_cache(root)
+        assert not found.healthy and found.corrupt == 1
+        assert any("checksum" in p for p in found.problems)
+
+        repaired = scan_cache(root, repair=True)
+        assert repaired.healthy and repaired.quarantined == 1
+        assert (root / "quarantine" / victim.name).exists()
+        assert scan_cache(root).healthy
+
+    def test_wrong_kind_record_is_quarantined(self, tmp_path):
+        """A current-format record of the wrong kind dropped into the
+        checkpoints dir raises RecordError from validate_journal — the
+        doctor quarantines it rather than letting it escape the scan."""
+        ckdir = tmp_path / "checkpoints"
+        ckdir.mkdir()
+        (ckdir / "j.json").write_text(seal_record("cache-entry", {"x": 1}))
+
+        found = scan_checkpoints(ckdir)
+        assert not found.healthy and found.corrupt == 1
+
+        repaired = scan_checkpoints(ckdir, repair=True)
+        assert repaired.healthy and repaired.quarantined == 1
+        assert scan_checkpoints(ckdir).healthy
 
     def test_repair_scan_never_touches_valid_entries(self, tmp_path):
         cache = self._primed_cache(tmp_path)
