@@ -16,9 +16,14 @@ Commands:
 * ``corpus ingest|list|stats|export`` — accumulate traces into the
   content-addressed corpus under ``results/corpus/`` and export the
   flattened per-candidate table;
+* ``model train|info|eval`` — the learned ranking surrogate: fit a
+  seeded ridge ranker on the flattened corpus (or trace files), inspect
+  a sealed model artifact, or score one against corpus rows (see
+  ``docs/search.md``, "Learned ranking");
 * ``report accuracy TRACE.jsonl ...`` — calibrate the analytical models
   against the measured cycles a trace records: rank correlation, worst
-  misranking, prescreen margin sweep, and (``--audit``) a seeded
+  misranking, prescreen margin sweep, ``--model`` side-by-side scoring
+  of a learned ranker on the same points, and (``--audit``) a seeded
   re-simulation of recorded prescreen skips;
 * ``profile TRACE.jsonl`` — per-stage wall-time attribution of a search
   (stage spans + per-eval wall attrs);
@@ -39,7 +44,11 @@ Commands:
 
 ``tune`` prescreens tiling candidates with the analytical model by
 default (simulations the model can rule out are skipped);
-``--no-prescreen`` measures every candidate instead.
+``--no-prescreen`` measures every candidate instead.  ``--ranker
+MODEL.json`` additionally ranks every candidate batch with a trained
+learned surrogate and simulates only the predicted-best plus seeded
+exploration draws; a missing or mismatched artifact falls back to
+simulating everything (fail open).
 
 ``tune`` and ``experiments`` accept evaluation-engine options:
 ``-j/--jobs N`` fans candidate batches out over N workers (results are
@@ -214,6 +223,12 @@ def _parser() -> argparse.ArgumentParser:
     tune.add_argument("--no-prescreen", dest="prescreen", action="store_false",
                       help="simulate every candidate (the escape hatch when "
                            "the model is suspected of mispruning)")
+    tune.add_argument("--ranker", metavar="MODEL.json", default=None,
+                      help="rank candidate batches with a trained learned "
+                           "surrogate and simulate only the predicted-best "
+                           "plus exploration draws (train with `repro model "
+                           "train`; a missing or mismatched artifact falls "
+                           "back to simulating everything)")
     _add_engine_options(tune)
 
     run = sub.add_parser("run", help="simulate the untransformed kernel")
@@ -239,6 +254,10 @@ def _parser() -> argparse.ArgumentParser:
                             "(benchmarks/perf/<suite>_floor.json)")
     bench.add_argument("--floor", default=None, metavar="FILE",
                        help="alternate floor file for --check")
+    bench.add_argument("--legs", default=None, metavar="L1,L2,...",
+                       help="search suite only: run a subset of the leg "
+                            "groups (pipeline, prescreen, learned); default "
+                            "all — CI jobs select just the legs they gate on")
     bench.add_argument("-o", "--out", default=None, metavar="FILE",
                        help="result file (default BENCH_sim.json / "
                             "BENCH_search.json by suite)")
@@ -279,12 +298,41 @@ def _parser() -> argparse.ArgumentParser:
                              "(default sample when given without N: 5)")
     report.add_argument("--seed", type=int, default=42,
                         help="sampling seed for --audit (default 42)")
+    report.add_argument("--model", metavar="MODEL.json", default=None,
+                        help="also score this trained learned ranker on the "
+                             "same measured points, side by side with the "
+                             "analytical surrogate")
     report.add_argument("--margins", default=None, metavar="M1,M2,...",
                         help="comma-separated margins for the sweep "
                              "(default: 0.0 .. 0.5 including the calibrated "
                              "0.29)")
     report.add_argument("-o", "--output", metavar="FILE", default=None,
                         help="write the report to FILE instead of stdout")
+
+    model = sub.add_parser(
+        "model",
+        help="learned ranking surrogate: train on the corpus, inspect or "
+             "score a sealed artifact (docs/search.md)",
+    )
+    model.add_argument("action", choices=("train", "info", "eval"))
+    model.add_argument("path", nargs="?", metavar="MODEL.json", default=None,
+                       help="artifact path (train: output, default "
+                            "results/models/<kernel>-<machine>.json; "
+                            "info/eval: the artifact to inspect or score)")
+    model.add_argument("--kernel", choices=sorted(KERNELS), default="mm",
+                       help="target kernel to train for (default mm)")
+    model.add_argument("--machine", default="sgi",
+                       help="target machine to train for (default sgi)")
+    model.add_argument("--seed", type=int, default=0,
+                       help="exploration seed recorded in the artifact "
+                            "(default 0; part of the model fingerprint)")
+    model.add_argument("--corpus", default=None, metavar="DIR",
+                       help="train/eval on the flattened trace corpus at DIR "
+                            "(default results/corpus)")
+    model.add_argument("--traces", nargs="*", default=[],
+                       metavar="TRACE.jsonl",
+                       help="train/eval directly on trace files instead of "
+                            "the corpus")
 
     profile = sub.add_parser(
         "profile", help="per-stage wall-time attribution of a search trace"
@@ -372,8 +420,24 @@ def _cmd_tune(args) -> None:
         )
     from repro.core import SearchConfig
 
+    ranker = None
+    if args.ranker:
+        from repro.analysis.learned import load_ranker
+
+        try:
+            ranker = load_ranker(args.ranker)
+        except OSError as error:
+            # fail open: an absent model means full simulation, not a crash
+            # (a *corrupt* artifact still refuses loudly via StorageError)
+            print(
+                f"warning: learned ranker disabled ({error}); "
+                f"simulating all candidates",
+                file=sys.stderr,
+            )
     optimizer = EcoOptimizer(
-        kernel, machine, SearchConfig(prescreen=args.prescreen), engine=engine,
+        kernel, machine,
+        SearchConfig(prescreen=args.prescreen, ranker=ranker),
+        engine=engine,
         checkpoint_path=checkpoint_path, resume=args.resume,
         fs_faults=args.inject_fs_faults,
     )
@@ -426,6 +490,8 @@ def _cmd_bench(args) -> None:
         argv.append("--check")
     if args.floor:
         argv += ["--floor", args.floor]
+    if args.legs:
+        argv += ["--legs", args.legs]
     if args.out:
         argv += ["--out", args.out]
     code = bench.main(argv)
@@ -553,6 +619,14 @@ def _cmd_report(args) -> None:
     from repro.obs.reader import read_trace
 
     margins = _parse_margins(args.margins)
+    model = None
+    if args.model:
+        from repro.analysis.learned import load_ranker
+
+        try:
+            model = load_ranker(args.model)
+        except OSError as error:
+            raise SystemExit(f"repro report: cannot read {args.model}: {error}")
     sections = []
     for path in args.traces:
         load = read_trace(path)
@@ -565,11 +639,95 @@ def _cmd_report(args) -> None:
                 file=sys.stderr,
             )
         analyses = analyze_trace(
-            load.events, margins=margins, audit=args.audit, seed=args.seed
+            load.events, margins=margins, audit=args.audit, seed=args.seed,
+            model=model,
         )
         header = f"== {path} =="
         sections.append(header + "\n" + render_accuracy(analyses))
     _write_or_print("\n".join(sections), args.output)
+
+
+def _model_rows(args) -> list:
+    """Flattened training/eval rows: trace files when given, else the
+    corpus."""
+    if args.traces:
+        from repro.obs.corpus import flatten_trace
+        from repro.obs.reader import read_trace
+
+        rows = []
+        for path in args.traces:
+            load = read_trace(path)
+            for warning in load.warnings:
+                print(f"warning: {path}: {warning}", file=sys.stderr)
+            rows.extend(flatten_trace(load.events))
+        return rows
+    from repro.obs.corpus import Corpus
+
+    corpus = Corpus(args.corpus) if args.corpus else Corpus()
+    return corpus.rows()
+
+
+def _cmd_model(args) -> None:
+    import os
+
+    from repro.analysis.learned import (
+        TrainingError,
+        evaluate_ranker,
+        load_ranker,
+        save_ranker,
+        train_ranker,
+    )
+
+    if args.action == "train":
+        out = args.path or os.path.join(
+            "results", "models", f"{args.kernel}-{args.machine}.json"
+        )
+        try:
+            ranker = train_ranker(
+                _model_rows(args), args.kernel, args.machine, seed=args.seed
+            )
+        except TrainingError as error:
+            raise SystemExit(f"repro model train: {error}")
+        save_ranker(out, ranker)
+        training = ranker.training
+        print(f"wrote {out}")
+        print(f"  fingerprint {ranker.fingerprint}  "
+              f"rows {ranker.rows}  seed {ranker.seed}")
+        rho = training.get("spearman")
+        print(f"  training rmse(log cycles) "
+              f"{training.get('rmse_log_cycles', float('nan')):.4f}  "
+              f"spearman {'n/a' if rho is None else f'{rho:.3f}'}")
+        return
+    if not args.path:
+        raise SystemExit(f"repro model {args.action}: artifact path required")
+    try:
+        ranker = load_ranker(args.path)
+    except OSError as error:
+        raise SystemExit(f"repro model: cannot read {args.path}: {error}")
+    if args.action == "info":
+        training = ranker.training
+        print(f"{args.path}:")
+        print(f"  kernel {ranker.kernel_name} @ {ranker.machine_name} "
+              f"(spec {ranker.machine_spec})")
+        print(f"  fingerprint {ranker.fingerprint}")
+        print(f"  rows {ranker.rows}  seed {ranker.seed}  "
+              f"ridge lambda {ranker.ridge_lambda}")
+        print(f"  params {', '.join(ranker.params)} "
+              f"({len(ranker.feature_names)} features)")
+        if training:
+            rho = training.get("spearman")
+            print(f"  training rmse(log cycles) "
+                  f"{training.get('rmse_log_cycles', float('nan')):.4f}  "
+                  f"spearman {'n/a' if rho is None else f'{rho:.3f}'}")
+        return
+    # eval
+    metrics = evaluate_ranker(ranker, _model_rows(args))
+    print(f"{args.path}: scored {metrics['scored']} of {metrics['rows']} "
+          f"usable rows")
+    rho = metrics["spearman"]
+    mae = metrics["mae_log_cycles"]
+    print(f"  spearman {'n/a' if rho is None else f'{rho:.3f}'}  "
+          f"mae(log cycles) {'n/a' if mae is None else f'{mae:.4f}'}")
 
 
 def _cmd_profile(args) -> None:
@@ -682,6 +840,8 @@ def main(argv: Optional[List[str]] = None) -> None:
             _cmd_corpus(args)
         elif args.command == "report":
             _cmd_report(args)
+        elif args.command == "model":
+            _cmd_model(args)
         elif args.command == "profile":
             _cmd_profile(args)
         elif args.command == "doctor":

@@ -20,6 +20,17 @@ from repro.analysis.profitability import (
     most_profitable_loops,
     most_profitable_refs,
 )
+from repro.analysis.learned import (
+    DEFAULT_EXPLORE,
+    DEFAULT_RANKER_MARGIN,
+    DEFAULT_TOP_K,
+    LearnedRanker,
+    TrainingError,
+    evaluate_ranker,
+    load_ranker,
+    save_ranker,
+    train_ranker,
+)
 from repro.analysis.reuse import GroupReuse, RefReuse, ReuseSummary, analyze_reuse
 from repro.analysis.surrogate import DEFAULT_MARGIN, SkipVerdict, Surrogate
 
@@ -27,6 +38,15 @@ __all__ = [
     "Surrogate",
     "SkipVerdict",
     "DEFAULT_MARGIN",
+    "DEFAULT_EXPLORE",
+    "DEFAULT_RANKER_MARGIN",
+    "DEFAULT_TOP_K",
+    "LearnedRanker",
+    "TrainingError",
+    "evaluate_ranker",
+    "load_ranker",
+    "save_ranker",
+    "train_ranker",
     "Dependence",
     "compute_dependences",
     "permutation_legal",

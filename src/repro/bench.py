@@ -50,7 +50,14 @@ __all__ = [
     "trend_row",
     "FLOOR_SLACK",
     "HISTORY_PATH",
+    "SEARCH_LEGS",
 ]
+
+#: the search suite's leg groups, selectable with ``--legs``: wall-clock
+#: scheduling comparisons, the analytical-prescreen pruning legs, and
+#: the learned-ranker pruning legs.  CI jobs run only the groups they
+#: gate on; the default is all of them.
+SEARCH_LEGS = ("pipeline", "prescreen", "learned")
 
 #: a workload fails the CI gate only below ``floor * (1 - FLOOR_SLACK)``
 FLOOR_SLACK = 0.30
@@ -200,7 +207,7 @@ def run_sim_bench(quick: bool = False) -> Dict[str, object]:
 
 def _golden_search_once(
     machine_name: str, jobs: int, pipeline: bool, prescreen: bool,
-    workers: str = "processes",
+    workers: str = "processes", ranker=None, tracer=None,
 ) -> Tuple[float, object, Dict[str, object]]:
     """One golden mm search; returns (wall seconds, engine stats, winner)."""
     from repro.core import EcoOptimizer, SearchConfig
@@ -209,9 +216,10 @@ def _golden_search_once(
     from repro.machines import get_machine
 
     machine = get_machine(machine_name)
-    engine = EvalEngine(machine, jobs=jobs, workers=workers)
+    engine = EvalEngine(machine, jobs=jobs, workers=workers, tracer=tracer)
     config = SearchConfig(
-        full_search_variants=2, pipeline=pipeline, prescreen=prescreen
+        full_search_variants=2, pipeline=pipeline, prescreen=prescreen,
+        ranker=ranker,
     )
     start = time.perf_counter()
     tuned = EcoOptimizer(matmul(), machine, config, engine=engine).optimize(
@@ -235,107 +243,192 @@ def _golden_search_once(
     return wall, engine.stats, winner
 
 
-def run_search_bench(quick: bool = False, jobs: int = 4) -> Dict[str, object]:
+def _learned_leg(machine_name: str) -> Dict[str, object]:
+    """The learned-ranker pruning comparison on one machine model.
+
+    Trains a ranker on the base run's *own* trace (in memory: Tracer →
+    ``flatten_trace`` → ``train_ranker``) and reruns the identical
+    search with the ranker on — the avoided fraction is then a pure
+    property of the model and the skip policy, not of which corpus
+    happened to be on disk.  Both runs are ``-j 1`` pipelined with the
+    analytical prescreen off, the same baseline the prescreen legs use,
+    so the two avoided fractions are directly comparable.
+    """
+    from repro.analysis.learned import train_ranker
+    from repro.obs import Tracer
+    from repro.obs.corpus import flatten_trace
+
+    tracer = Tracer(command="bench", suite="search", machine=machine_name)
+    _, base_stats, base_winner = _golden_search_once(
+        machine_name, 1, True, False, tracer=tracer
+    )
+    ranker = train_ranker(
+        flatten_trace(tracer.events()), "mm", machine_name, seed=0
+    )
+    _, ranked_stats, ranked_winner = _golden_search_once(
+        machine_name, 1, True, False, ranker=ranker
+    )
+    avoided = 1.0 - ranked_stats.simulations / max(1, base_stats.simulations)
+    return {
+        "sims_base": base_stats.simulations,
+        "sims_ranked": ranked_stats.simulations,
+        "ranker_skips": ranked_stats.ranker_skips,
+        "model_fingerprint": ranker.fingerprint,
+        "avoided_frac": round(avoided, 4),
+        "winner_match": ranked_winner == base_winner,
+    }
+
+
+def run_search_bench(
+    quick: bool = False, jobs: int = 4, legs: Optional[Tuple[str, ...]] = None
+) -> Dict[str, object]:
     """Run the search-scheduler benchmark; returns the BENCH_search payload.
 
-    Two claims are measured on the golden mm search (the workload pinned
-    by tests/test_search_golden.py):
+    Three claims are measured on the golden mm search (the workload
+    pinned by tests/test_search_golden.py), each its own selectable leg
+    group (``legs``; default all of :data:`SEARCH_LEGS`):
 
-    * **pipelining** — wall clock of the same search under barrier vs
+    * **pipeline** — wall clock of the same search under barrier vs
       pipelined scheduling at ``-j 1`` and ``-j N``.  The winner and every
       per-point decision are byte-identical across all four legs (the
       determinism tests pin this), so the comparison is pure scheduling.
       The speedup number only means something on a host with >= ``jobs``
       cores — it ships with the host context for exactly that reason;
-    * **prescreen** — simulations run with the model prescreen on vs off,
-      on *all four* machine models, with the tuned winner required to be
-      identical.  These counts are deterministic on any host.
+    * **prescreen** — simulations run with the analytical-model prescreen
+      on vs off, on *all four* machine models, with the tuned winner
+      required to be identical.  These counts are deterministic on any
+      host;
+    * **learned** — the same comparison for the learned ranking
+      surrogate: train on the base run's own trace, rerun with the
+      ranker batch-pruning candidates, require the winner unchanged.
+      Gated harder than the prescreen (the committed floor demands a
+      larger avoided fraction on *every* machine).
 
-    Every leg also reports **wall-based sims/sec** (``simulations /
-    wall_seconds`` over the whole search, front end included) — the
-    number the batched-simulation + delta-evaluation work moves; the
-    floor gates the best leg's rate.  The ``threads-jN`` leg runs the
-    in-process batched venue (``--workers threads``): same results, no
-    pickling, candidates stacked through the cross-candidate simulator.
+    Every pipeline leg also reports **wall-based sims/sec**
+    (``simulations / wall_seconds`` over the whole search, front end
+    included) — the number the batched-simulation + delta-evaluation
+    work moves; the floor gates the best leg's rate.  The ``threads-jN``
+    leg runs the in-process batched venue (``--workers threads``): same
+    results, no pickling, candidates stacked through the cross-candidate
+    simulator.
     """
+    from repro.analysis.learned import (
+        DEFAULT_EXPLORE,
+        DEFAULT_RANKER_MARGIN,
+        DEFAULT_TOP_K,
+    )
     from repro.analysis.surrogate import DEFAULT_MARGIN
     from repro.machines import MACHINES
 
+    selected = tuple(legs) if legs else SEARCH_LEGS
+    unknown = [leg for leg in selected if leg not in SEARCH_LEGS]
+    if unknown:
+        raise ValueError(
+            f"unknown search legs {unknown} (choose from {list(SEARCH_LEGS)})"
+        )
     repeats = 1 if quick else 3
-    legs = {
-        "barrier-j1": (1, False, "processes"),
-        f"barrier-j{jobs}": (jobs, False, "processes"),
-        "pipelined-j1": (1, True, "processes"),
-        f"pipelined-j{jobs}": (jobs, True, "processes"),
-        f"threads-j{jobs}": (jobs, True, "threads"),
-    }
-    _golden_search_once("sgi", 1, True, False)  # warmup
-    wall_seconds: Dict[str, float] = {}
-    sims_per_sec: Dict[str, int] = {}
-    sims = 0
-    full_sims = delta_sims = 0
-    for label, (leg_jobs, pipeline, workers) in legs.items():
-        best = float("inf")
-        for _ in range(repeats):
-            wall, stats, _ = _golden_search_once(
-                "sgi", leg_jobs, pipeline, False, workers
-            )
-            best = min(best, wall)
-        wall_seconds[label] = round(best, 3)
-        sims_per_sec[label] = int(stats.simulations / max(1e-9, best))
-        sims = stats.simulations
-        full_sims = stats.full_sims
-        delta_sims = stats.delta_sims
-    speedup = round(
-        wall_seconds[f"barrier-j{jobs}"] / max(1e-9, wall_seconds[f"pipelined-j{jobs}"]),
-        2,
-    )
-    best_sims_per_sec = max(sims_per_sec.values())
-
-    per_machine: Dict[str, Dict[str, object]] = {}
-    for name in MACHINES:
-        _, base_stats, base_winner = _golden_search_once(name, 1, True, False)
-        _, pre_stats, pre_winner = _golden_search_once(name, 1, True, True)
-        avoided = 1.0 - pre_stats.simulations / max(1, base_stats.simulations)
-        per_machine[name] = {
-            "sims_base": base_stats.simulations,
-            "sims_prescreen": pre_stats.simulations,
-            "prescreen_skips": pre_stats.prescreen_skips,
-            "avoided_frac": round(avoided, 4),
-            "winner_match": pre_winner == base_winner,
-        }
-    golden = per_machine["sgi-r10k-mini"]
-    return {
+    payload: Dict[str, object] = {
         "schema": 1,
         "quick": quick,
         "repeats": repeats,
         "jobs": jobs,
+        "legs": list(selected),
         "python": platform.python_version(),
         "host": _host_context(),
         "methodology": (
             "golden mm search (full_search_variants=2, N=24) under each "
-            "scheduling mode, best of N repeats; prescreen legs run at "
-            "-j 1 (their sim counts and winners are deterministic)"
+            "scheduling mode, best of N repeats; prescreen and learned "
+            "legs run at -j 1 (their sim counts and winners are "
+            "deterministic); the learned leg trains on the base run's "
+            "own trace"
         ),
-        "search": {
+    }
+
+    if "pipeline" in selected:
+        wall_legs = {
+            "barrier-j1": (1, False, "processes"),
+            f"barrier-j{jobs}": (jobs, False, "processes"),
+            "pipelined-j1": (1, True, "processes"),
+            f"pipelined-j{jobs}": (jobs, True, "processes"),
+            f"threads-j{jobs}": (jobs, True, "threads"),
+        }
+        _golden_search_once("sgi", 1, True, False)  # warmup
+        wall_seconds: Dict[str, float] = {}
+        sims_per_sec: Dict[str, int] = {}
+        sims = 0
+        full_sims = delta_sims = 0
+        for label, (leg_jobs, pipeline, workers) in wall_legs.items():
+            best = float("inf")
+            for _ in range(repeats):
+                wall, stats, _ = _golden_search_once(
+                    "sgi", leg_jobs, pipeline, False, workers
+                )
+                best = min(best, wall)
+            wall_seconds[label] = round(best, 3)
+            sims_per_sec[label] = int(stats.simulations / max(1e-9, best))
+            sims = stats.simulations
+            full_sims = stats.full_sims
+            delta_sims = stats.delta_sims
+        speedup = round(
+            wall_seconds[f"barrier-j{jobs}"]
+            / max(1e-9, wall_seconds[f"pipelined-j{jobs}"]),
+            2,
+        )
+        payload["search"] = {
             "workload": "golden-search-mm@sgi-r10k-mini",
             "sims": sims,
             "full_sims": full_sims,
             "delta_sims": delta_sims,
             "wall_seconds": wall_seconds,
             "sims_per_sec": sims_per_sec,
-            "best_sims_per_sec": best_sims_per_sec,
+            "best_sims_per_sec": max(sims_per_sec.values()),
             "pipeline_speedup": speedup,
-        },
-        "prescreen": {
+        }
+
+    if "prescreen" in selected:
+        per_machine: Dict[str, Dict[str, object]] = {}
+        for name in MACHINES:
+            _, base_stats, base_winner = _golden_search_once(
+                name, 1, True, False
+            )
+            _, pre_stats, pre_winner = _golden_search_once(name, 1, True, True)
+            avoided = 1.0 - pre_stats.simulations / max(
+                1, base_stats.simulations
+            )
+            per_machine[name] = {
+                "sims_base": base_stats.simulations,
+                "sims_prescreen": pre_stats.simulations,
+                "prescreen_skips": pre_stats.prescreen_skips,
+                "avoided_frac": round(avoided, 4),
+                "winner_match": pre_winner == base_winner,
+            }
+        golden = per_machine["sgi-r10k-mini"]
+        payload["prescreen"] = {
             "margin": DEFAULT_MARGIN,
             "per_machine": per_machine,
             "avoided_frac": golden["avoided_frac"],
             "winner_match": all(
                 row["winner_match"] for row in per_machine.values()
             ),
-        },
-    }
+        }
+
+    if "learned" in selected:
+        learned_machines = {name: _learned_leg(name) for name in MACHINES}
+        payload["learned"] = {
+            "top_k": DEFAULT_TOP_K,
+            "explore": DEFAULT_EXPLORE,
+            "margin": DEFAULT_RANKER_MARGIN,
+            "seed": 0,
+            "per_machine": learned_machines,
+            "avoided_frac": learned_machines["sgi-r10k-mini"]["avoided_frac"],
+            "min_avoided_frac": min(
+                row["avoided_frac"] for row in learned_machines.values()
+            ),
+            "winner_match": all(
+                row["winner_match"] for row in learned_machines.values()
+            ),
+        }
+    return payload
 
 
 def check_floor(results: Dict[str, object],
@@ -378,21 +471,33 @@ def _host_mismatch(floor: Dict[str, object]) -> Optional[str]:
     return None
 
 
+def _leg_selected(results: Dict[str, object], leg: str) -> bool:
+    """Whether a bench payload covers a leg group.  Payloads without a
+    ``legs`` list (older runs, test fixtures) cover everything; a payload
+    that *deselected* a leg is not gated on it — its gates were someone
+    else's job by construction."""
+    legs = results.get("legs")
+    return not isinstance(legs, list) or leg in legs
+
+
 def check_search_floor(
     results: Dict[str, object], floor: Dict[str, object]
 ) -> Tuple[List[str], List[str]]:
     """Compare a search-bench run against the committed floor.
 
-    Returns ``(failures, warnings)``.  ``hard`` gates (prescreen avoided
-    fraction, winner match) are deterministic — same counts on any host —
-    and always enforced, with no slack.  ``host_sensitive`` gates (the
-    parallel pipeline speedup, the wall-based sims/sec rate) get
-    ``FLOOR_SLACK`` and are downgraded to warnings when this host differs
-    from the one the floor was measured on: a 1-core runner cannot
-    exhibit a 4-worker speedup, and failing there would only teach people
-    to ignore the gate.  A single-core host is *always* treated as
-    mismatched for these gates — even a floor mistakenly recorded with
-    ``cpu_count: 1`` cannot make parallel wall-clock claims enforceable.
+    Returns ``(failures, warnings)``.  ``hard`` gates (prescreen and
+    learned-ranker avoided fractions, winner matches) are deterministic —
+    same counts on any host — and always enforced, with no slack.
+    ``host_sensitive`` gates (the parallel pipeline speedup, the
+    wall-based sims/sec rate) get ``FLOOR_SLACK`` and are downgraded to
+    warnings when this host differs from the one the floor was measured
+    on: a 1-core runner cannot exhibit a 4-worker speedup, and failing
+    there would only teach people to ignore the gate.  A single-core
+    host is *always* treated as mismatched for these gates — even a
+    floor mistakenly recorded with ``cpu_count: 1`` cannot make parallel
+    wall-clock claims enforceable.  Gates whose leg group the run
+    deselected (``--legs``) are skipped; a *selected* leg missing its
+    payload section still fails.
     """
     failures: List[str] = []
     warnings: List[str] = []
@@ -402,14 +507,18 @@ def check_search_floor(
     hard = floor.get("hard", {})
     prescreen = results.get("prescreen", {})
     min_avoided = hard.get("prescreen_avoided_frac")
-    if min_avoided is not None:
+    if min_avoided is not None and _leg_selected(results, "prescreen"):
         avoided = prescreen.get("avoided_frac", 0.0)
         if avoided < min_avoided:
             failures.append(
                 f"prescreen avoided {avoided:.1%} of golden-search sims, "
                 f"floor requires >= {min_avoided:.0%}"
             )
-    if hard.get("prescreen_winner_match") and not prescreen.get("winner_match"):
+    if (
+        hard.get("prescreen_winner_match")
+        and _leg_selected(results, "prescreen")
+        and not prescreen.get("winner_match")
+    ):
         mismatched = [
             name
             for name, row in prescreen.get("per_machine", {}).items()
@@ -418,7 +527,36 @@ def check_search_floor(
         failures.append(
             "prescreen changed the tuned winner on: " + ", ".join(mismatched)
         )
+    learned = results.get("learned", {})
+    min_learned = hard.get("learned_avoided_frac")
+    if min_learned is not None and _leg_selected(results, "learned"):
+        # gated on the *minimum* across machines: the claim is ">= 40%
+        # avoided with the winner unchanged on every machine model", not
+        # on one favourable machine
+        learned_avoided = learned.get("min_avoided_frac", 0.0)
+        if learned_avoided < min_learned:
+            failures.append(
+                f"learned ranker avoided {learned_avoided:.1%} of "
+                f"golden-search sims on its worst machine, floor requires "
+                f">= {min_learned:.0%} everywhere"
+            )
+    if (
+        hard.get("learned_winner_match")
+        and _leg_selected(results, "learned")
+        and not learned.get("winner_match")
+    ):
+        mismatched = [
+            name
+            for name, row in learned.get("per_machine", {}).items()
+            if not row.get("winner_match")
+        ] or ["(no per-machine data)"]
+        failures.append(
+            "learned ranker changed the tuned winner on: "
+            + ", ".join(mismatched)
+        )
     min_speedup = floor.get("host_sensitive", {}).get("pipeline_speedup")
+    if min_speedup is not None and not _leg_selected(results, "pipeline"):
+        min_speedup = None
     if min_speedup is not None:
         actual = results.get("search", {}).get("pipeline_speedup", 0.0)
         limit = min_speedup * (1 - FLOOR_SLACK)
@@ -435,6 +573,8 @@ def check_search_floor(
             else:
                 failures.append(message)
     min_sims_rate = floor.get("host_sensitive", {}).get("best_sims_per_sec")
+    if min_sims_rate is not None and not _leg_selected(results, "pipeline"):
+        min_sims_rate = None
     if min_sims_rate is not None:
         actual_rate = results.get("search", {}).get("best_sims_per_sec", 0)
         limit = min_sims_rate * (1 - FLOOR_SLACK)
@@ -497,38 +637,69 @@ def _main_sim(args) -> int:
     return 0
 
 
+def _parse_legs(text: Optional[str]) -> Optional[Tuple[str, ...]]:
+    if not text:
+        return None
+    legs = tuple(part.strip() for part in text.split(",") if part.strip())
+    unknown = [leg for leg in legs if leg not in SEARCH_LEGS]
+    if unknown:
+        raise SystemExit(
+            f"--legs: unknown leg(s) {', '.join(unknown)} "
+            f"(choose from {', '.join(SEARCH_LEGS)})"
+        )
+    return legs
+
+
 def _main_search(args) -> int:
     floor_path = args.floor or SEARCH_FLOOR_PATH
     out = args.out or "BENCH_search.json"
-    results = run_search_bench(quick=args.quick)
+    results = run_search_bench(quick=args.quick, legs=_parse_legs(args.legs))
     with open(out, "w") as handle:
         json.dump(results, handle, indent=1)
         handle.write("\n")
 
-    search = results["search"]
-    prescreen = results["prescreen"]
-    print(f"wrote {out}")
-    walls = ", ".join(
-        f"{label}={seconds:.2f}s" for label, seconds in search["wall_seconds"].items()
-    )
-    print(f"  {search['workload']}: {search['sims']} sims "
-          f"({search['full_sims']} full + {search['delta_sims']} delta); "
-          f"{walls}")
-    rates = ", ".join(
-        f"{label}={rate:,}/s" for label, rate in search["sims_per_sec"].items()
-    )
-    print(f"  sims/sec (wall): {rates}; best {search['best_sims_per_sec']:,}/s")
-    print(f"  pipeline speedup at -j{results['jobs']}: "
-          f"{search['pipeline_speedup']}x "
-          f"(host has {results['host']['cpu_count']} cpus)")
-    print(f"  prescreen (margin {prescreen['margin']}): "
-          f"avoided {prescreen['avoided_frac']:.1%} of golden-search sims, "
-          f"winner match on all machines: {prescreen['winner_match']}")
-    for name, row in prescreen["per_machine"].items():
-        print(f"    {name:22s} sims {row['sims_base']:>3} -> "
-              f"{row['sims_prescreen']:>3}  "
-              f"avoided {row['avoided_frac']:>6.1%}  "
-              f"winner_match={row['winner_match']}")
+    print(f"wrote {out} (legs: {', '.join(results['legs'])})")
+    if "search" in results:
+        search = results["search"]
+        walls = ", ".join(
+            f"{label}={seconds:.2f}s"
+            for label, seconds in search["wall_seconds"].items()
+        )
+        print(f"  {search['workload']}: {search['sims']} sims "
+              f"({search['full_sims']} full + {search['delta_sims']} delta); "
+              f"{walls}")
+        rates = ", ".join(
+            f"{label}={rate:,}/s"
+            for label, rate in search["sims_per_sec"].items()
+        )
+        print(f"  sims/sec (wall): {rates}; "
+              f"best {search['best_sims_per_sec']:,}/s")
+        print(f"  pipeline speedup at -j{results['jobs']}: "
+              f"{search['pipeline_speedup']}x "
+              f"(host has {results['host']['cpu_count']} cpus)")
+    if "prescreen" in results:
+        prescreen = results["prescreen"]
+        print(f"  prescreen (margin {prescreen['margin']}): "
+              f"avoided {prescreen['avoided_frac']:.1%} of golden-search "
+              f"sims, winner match on all machines: "
+              f"{prescreen['winner_match']}")
+        for name, row in prescreen["per_machine"].items():
+            print(f"    {name:22s} sims {row['sims_base']:>3} -> "
+                  f"{row['sims_prescreen']:>3}  "
+                  f"avoided {row['avoided_frac']:>6.1%}  "
+                  f"winner_match={row['winner_match']}")
+    if "learned" in results:
+        learned = results["learned"]
+        print(f"  learned ranker (top_k {learned['top_k']}, explore "
+              f"{learned['explore']}, margin {learned['margin']}): avoided "
+              f"{learned['avoided_frac']:.1%} of golden-search sims "
+              f"(min {learned['min_avoided_frac']:.1%} across machines), "
+              f"winner match on all machines: {learned['winner_match']}")
+        for name, row in learned["per_machine"].items():
+            print(f"    {name:22s} sims {row['sims_base']:>3} -> "
+                  f"{row['sims_ranked']:>3}  "
+                  f"avoided {row['avoided_frac']:>6.1%}  "
+                  f"winner_match={row['winner_match']}")
 
     if args.check:
         floor = _load_floor(floor_path)
@@ -588,6 +759,16 @@ def trend_row(
             "prescreen_avoided_frac": prescreen.get("avoided_frac"),
             "prescreen_winner_match": prescreen.get("winner_match"),
         }
+        learned = search.get("learned")
+        if learned is not None:
+            # the avoided-fraction trajectory the active-learning work
+            # moves; min across machines, matching the floor gate
+            row["search"]["learned_avoided_frac"] = learned.get(
+                "min_avoided_frac"
+            )
+            row["search"]["learned_winner_match"] = learned.get(
+                "winner_match"
+            )
     return row
 
 
@@ -626,11 +807,20 @@ def _main_trend(args) -> int:
             f"sim golden {row['sim']['golden_accesses_per_sec']:,}/s"
         )
     if "search" in row:
-        parts.append(
-            f"search best {row['search']['best_sims_per_sec']:,} sims/s, "
-            f"prescreen avoided "
-            f"{row['search']['prescreen_avoided_frac']:.1%}"
-        )
+        bits = []
+        if row["search"].get("best_sims_per_sec") is not None:
+            bits.append(f"best {row['search']['best_sims_per_sec']:,} sims/s")
+        if row["search"].get("prescreen_avoided_frac") is not None:
+            bits.append(
+                f"prescreen avoided "
+                f"{row['search']['prescreen_avoided_frac']:.1%}"
+            )
+        if row["search"].get("learned_avoided_frac") is not None:
+            bits.append(
+                f"learned avoided "
+                f"{row['search']['learned_avoided_frac']:.1%}"
+            )
+        parts.append("search " + ", ".join(bits))
     print(f"appended to {out} (row {count}): " + "; ".join(parts))
     return 0
 
@@ -655,6 +845,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--floor", default=None, metavar="FILE",
                         help="floor file for --check (default: the suite's "
                              "committed floor under benchmarks/perf/)")
+    parser.add_argument("--legs", default=None, metavar="L1,L2,...",
+                        help="search suite only: comma-separated leg groups "
+                             f"to run ({', '.join(SEARCH_LEGS)}); default "
+                             "all — gates for deselected legs are skipped")
     parser.add_argument("-o", "--out", default=None, metavar="FILE",
                         help="result file (default BENCH_sim.json / "
                              "BENCH_search.json by suite)")

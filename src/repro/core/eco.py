@@ -141,6 +141,20 @@ class EcoOptimizer:
                 # any -j / pipeline mode), so it stays out of the scope.
                 "prescreen": self.config.prescreen,
                 "prescreen_margin": self.config.prescreen_margin,
+                # the learned ranker is trajectory-affecting the same way;
+                # the trained artifact's fingerprint (stable across the
+                # in-search online refits) scopes the checkpoint, so a
+                # journal written under one model never resumes under
+                # another
+                "ranker": (
+                    self.config.ranker.fingerprint
+                    if self.config.ranker is not None
+                    else None
+                ),
+                "ranker_top_k": self.config.ranker_top_k,
+                "ranker_explore": self.config.ranker_explore,
+                "ranker_margin": self.config.ranker_margin,
+                "ranker_seed": self.config.ranker_seed,
             },
         }
 

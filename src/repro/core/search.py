@@ -39,10 +39,18 @@ the paper's reported range (tens of points).
 from __future__ import annotations
 
 import math
+import random
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.analysis.learned import (
+    DEFAULT_EXPLORE,
+    DEFAULT_RANKER_MARGIN,
+    DEFAULT_TOP_K,
+    LearnedRanker,
+)
 from repro.analysis.surrogate import DEFAULT_MARGIN, Surrogate
 from repro.core.checkpoint import (
     SearchJournal,
@@ -58,7 +66,7 @@ from repro.core.variants import (
     instantiate,
     prefetch_sites,
 )
-from repro.eval import EvalEngine, EvalRequest, stats_delta
+from repro.eval import EvalEngine, EvalRequest, machine_spec_hash, stats_delta
 from repro.ir.expr import Const, Mul, Var
 from repro.ir.nest import Kernel, Prefetch, walk_statements
 from repro.machines import MachineSpec
@@ -92,6 +100,24 @@ class SearchConfig:
     #: running best by more than ``prescreen_margin``
     prescreen: bool = False
     prescreen_margin: float = DEFAULT_MARGIN
+    #: learned batch ranker (docs/search.md, "Learned ranking"): each
+    #: tiling round's candidate batch is ranked by the trained model
+    #: (:class:`repro.analysis.learned.LearnedRanker`) and only the
+    #: predicted-best ``ranker_top_k`` plus ``ranker_explore`` seeded
+    #: exploration draws are simulated; fresh measurements feed an online
+    #: refit.  ``None`` (and any kernel/machine mismatch) fails open to
+    #: simulating everything.  The search ranks through its own clone, so
+    #: a shared config's model artifact is never mutated.
+    ranker: Optional[LearnedRanker] = None
+    ranker_top_k: int = DEFAULT_TOP_K
+    ranker_explore: int = DEFAULT_EXPLORE
+    #: low-confidence guard: candidates predicted within this log-cycle
+    #: margin of a batch's predicted-best are always simulated — the
+    #: model only skips candidates it calls *clearly* worse
+    ranker_margin: float = DEFAULT_RANKER_MARGIN
+    #: seed of the exploration sampling; drawn in driver order, so the
+    #: sampled candidates are identical at every -j / worker venue
+    ranker_seed: int = 0
 
 
 @dataclass
@@ -160,6 +186,23 @@ class GuidedSearch:
             if self.config.prescreen
             else None
         )
+        #: learned batch ranker — a per-search clone, so the online refit
+        #: (active learning) never leaks into the shared config's artifact
+        self._ranker: Optional[LearnedRanker] = None
+        if self.config.ranker is not None:
+            reason = self.config.ranker.mismatch(kernel.name, machine)
+            if reason is None:
+                self._ranker = self.config.ranker.clone()
+            else:
+                # fail open: a mismatched model must not rank, and the
+                # search must still run (simulating everything)
+                warnings.warn(
+                    f"learned ranker disabled ({reason}); "
+                    f"simulating all candidates",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+        self._ranker_rng = random.Random(self.config.ranker_seed)
 
     # -- measurement ------------------------------------------------------
     def measure(
@@ -373,6 +416,163 @@ class GuidedSearch:
             return None
         return self._surrogate.judge(variant, values, frontier)
 
+    def _ranker_plan(
+        self, variant: Variant, candidates: Sequence[Dict[str, int]]
+    ) -> Optional[Dict[Tuple, Tuple[float, int]]]:
+        """Rank one tiling round's candidate batch; decide who is skipped.
+
+        The returned plan maps the *skippable* candidates' keys to their
+        ``(predicted log-cycles, 1-based rank)``; keys absent from the
+        plan are always simulated.  The search always keeps the
+        ``ranker_top_k`` predicted-best candidates plus ``ranker_explore``
+        seeded draws from the rest — the exploration sample is what keeps
+        the online refit honest about candidates the model writes off.
+        Whether a skippable candidate is actually skipped is decided at
+        consumption time (:meth:`_ranked`) against the frontier's
+        *measured* cycles: only candidates the model calls clearly worse
+        than the running best (beyond ``ranker_margin``) are skipped.
+
+        Planning is pure (no accounting, no skip counting): the plan is
+        built from the whole batch at the round's frontier, then applied
+        candidate-by-candidate at consumption time, so every observable
+        effect lands in driver order regardless of ``-j`` or worker
+        venue.  The RNG is only consumed when the batch is actually
+        large enough to skip from, and fails open — returns ``None``,
+        rank nothing — when there is no usable model or any
+        scorable-looking candidate turns out unscorable (a ranking the
+        model could not complete must not gate simulations).
+        """
+        if self._ranker is None:
+            return None
+        scored: List[Tuple[Tuple, float, bool]] = []
+        seen = set()
+        for candidate in candidates:
+            _, values, _, _, key, runnable = self._norm(variant, candidate, None, None)
+            if key in seen:
+                continue
+            seen.add(key)
+            if key in self._cache or not runnable:
+                continue  # costs no simulation either way
+            predicted = self._ranker.predict(
+                self.kernel, variant, values, self.problem, self.machine
+            )
+            if predicted is None:
+                return None
+            exact = (
+                self._ranker.memoized(variant, values, self.problem) is not None
+            )
+            scored.append((key, predicted, exact))
+        if not scored:
+            return {}
+        ranked = sorted(scored, key=lambda item: (item[1], item[0]))
+        kept = self._rank_keep(ranked, self.config.ranker_top_k, band=False)
+        if kept is None:
+            return {}
+        return {
+            key: (predicted, rank + 1, exact)
+            for rank, (key, predicted, exact) in enumerate(ranked)
+            if key not in kept
+        }
+
+    def _rank_keep(self, ranked, top_k, band: bool) -> Optional[set]:
+        """The always-kept subset of one ranked batch (items are
+        ``(id, predicted, ..., exact)``): the ``top_k`` predicted-best,
+        optionally (with ``band``, for batches with no measured frontier
+        to compare against) everything within the ``ranker_margin``
+        confidence band of the predicted-best — the model must not order
+        near-ties it cannot resolve — plus the seeded exploration draws.
+
+        Exploration samples only the *uncertain* (regression-predicted)
+        remainder: a memoized candidate carries no information the refit
+        lacks, so spending a simulation on it teaches nothing.  When the
+        uncertain remainder is no larger than the exploration budget it
+        is kept wholesale and the RNG is left untouched (small batches
+        must not shift the seeded stream).  Returns ``None`` when
+        nothing would be skippable."""
+        kept = {item[0] for item in ranked[: max(1, top_k)]}
+        if band:
+            limit = ranked[0][1] + max(0.0, self.config.ranker_margin)
+            for item in ranked:
+                if item[1] <= limit:
+                    kept.add(item[0])
+        rest = [item for item in ranked if item[0] not in kept]
+        uncertain = [item for item in rest if not item[-1]]
+        explore = max(0, self.config.ranker_explore)
+        if len(uncertain) <= explore:
+            kept.update(item[0] for item in uncertain)
+        else:
+            for pick in self._ranker_rng.sample(range(len(uncertain)), explore):
+                kept.add(uncertain[pick][0])
+        if all(item[0] in kept for item in ranked):
+            return None
+        return kept
+
+    def _ranked(self, variant, candidate, plan, best_cycles) -> Optional[float]:
+        """Apply the round's ranking plan to one tiling candidate.
+
+        Returns the stand-in cycles (``inf``) when the model skips it,
+        else ``None`` (fall through to the prescreen/measurement).  A
+        skippable candidate is skipped only when its predicted log-cycles
+        exceed the frontier's *measured* log-cycles by more than
+        ``ranker_margin``: the model may veto clear losers, but a
+        candidate it cannot confidently call worse than the running best
+        is simulated.  Comparing against the measured frontier (which
+        tightens as the round improves) rather than other predictions
+        keeps the climb's trajectory intact wherever the model is right.
+
+        The skip is counted *here*, at consumption in driver order — the
+        same contract as :meth:`_prescreened` — and, like the prescreen,
+        never memoized: a later round re-ranks the point against a fresh
+        batch.  Points that became memoized since the plan was built
+        fall through (they cost no simulation and may beat the best).
+        """
+        if plan is None:
+            return None
+        if not (math.isfinite(best_cycles) and best_cycles > 0):
+            return None  # no measured frontier: nothing to rank against
+        _, values, _, _, key, runnable = self._norm(variant, candidate, None, None)
+        if key in self._cache or not runnable:
+            return None
+        entry = plan.get(key)
+        if entry is None:
+            return None
+        predicted, rank, exact = entry
+        # an exact (memoized) prediction needs no error bar; strict >
+        # still simulates dead ties, which cost one sim and never flip
+        # a strict-improvement climb
+        threshold = 0.0 if exact else max(0.0, self.config.ranker_margin)
+        if predicted <= math.log(best_cycles) + threshold:
+            return None  # too close to call: simulate
+        self.engine.note_ranker_skip(variant.name, dict(values), predicted, rank)
+        return math.inf
+
+    def _unplanned(self, variant, candidate, plan, frontier_cycles) -> bool:
+        """Whether the plan lets ``candidate`` through to simulation
+        (speculation filter: never pre-warm a point the plan would skip
+        against the current frontier)."""
+        if plan is None:
+            return True
+        if not (math.isfinite(frontier_cycles) and frontier_cycles > 0):
+            return True
+        _, _, _, _, key, _ = self._norm(variant, candidate, None, None)
+        entry = plan.get(key)
+        if entry is None:
+            return True
+        threshold = 0.0 if entry[2] else max(0.0, self.config.ranker_margin)
+        return entry[0] <= math.log(frontier_cycles) + threshold
+
+    def _ranker_observe(self, variant, candidate, cycles) -> None:
+        """Feed one fresh tiling measurement back into the per-search
+        ranker clone (active learning).  Called in driver order right
+        after the measurement is consumed, so every venue refits the
+        model through the identical update sequence; the ranker dedups
+        repeated points internally."""
+        if self._ranker is None or not math.isfinite(cycles) or cycles <= 0:
+            return
+        self._ranker.observe(
+            self.kernel, variant, dict(candidate), self.problem, self.machine, cycles
+        )
+
     # -- public entry -------------------------------------------------------
     def run(self, variants: Sequence[Variant]) -> SearchResult:
         """Screen all variants, fully search the best few, pick the winner."""
@@ -380,6 +580,9 @@ class GuidedSearch:
             "search",
             kernel=self.kernel.name,
             machine=self.machine.name,
+            # full-spec hash: training and artifact checks distinguish
+            # same-named machines whose parameters drifted (docs/search.md)
+            machine_spec=machine_spec_hash(self.machine),
             problem=dict(sorted(self.problem.items())),
             variants=len(variants),
         ) as span:
@@ -472,20 +675,90 @@ class GuidedSearch:
     def _screen(
         self, variants: Sequence[Variant], seeds: Sequence[Dict[str, int]]
     ) -> List[float]:
-        """Measure every variant at its seed point (replayed on resume)."""
+        """Measure every variant at its seed point (replayed on resume).
+
+        With a learned ranker, the screen is the search's biggest single
+        batch: one pure-tiling point per variant.  Only the
+        ``full_search_variants`` predicted-best seeds (the only ones the
+        search would carry forward anyway) plus the exploration draws
+        are simulated; ranked-out variants screen at ``inf``, which also
+        removes them from the full search — so the ranking here is
+        winner-affecting by design and gated by the bench floor.
+        """
         names = [variant.name for variant in variants]
         recorded = self._journal_get("screen", "results")
         if recorded is not None and recorded.get("variants") == names:
             return [decode_cycles(c) for c in recorded["cycles"]]
-        cycles_list = self.measure_many(
-            [(variant, values, None, None) for variant, values in zip(variants, seeds)]
-        )
+        plan = self._screen_plan(variants, seeds)
+        if plan is None:
+            cycles_list = self.measure_many(
+                [(variant, values, None, None) for variant, values in zip(variants, seeds)]
+            )
+            for (variant, values), cycles in zip(zip(variants, seeds), cycles_list):
+                self._ranker_observe(variant, values, cycles)
+        else:
+            cycles_list = [math.inf] * len(variants)
+            slots: List[int] = []
+            items = []
+            for index, (variant, values) in enumerate(zip(variants, seeds)):
+                entry = plan.get(index)
+                if entry is not None:
+                    predicted, rank, _exact = entry
+                    self.engine.note_ranker_skip(
+                        variant.name, dict(values), predicted, rank
+                    )
+                    continue
+                slots.append(index)
+                items.append((variant, values, None, None))
+            for index, cycles in zip(slots, self.measure_many(items)):
+                cycles_list[index] = cycles
+                self._ranker_observe(variants[index], seeds[index], cycles)
         self._journal_record(
             "screen",
             "results",
             {"variants": names, "cycles": [encode_cycles(c) for c in cycles_list]},
         )
         return cycles_list
+
+    def _screen_plan(
+        self, variants: Sequence[Variant], seeds: Sequence[Dict[str, int]]
+    ) -> Optional[Dict[int, Tuple[float, int]]]:
+        """Rank the screen batch; same shape/contract as
+        :meth:`_ranker_plan` but keyed by variant index, and keeping
+        ``full_search_variants`` (not ``ranker_top_k``) predicted-best —
+        keeping fewer would change the winner whenever the model is
+        merely good instead of perfect."""
+        if self._ranker is None:
+            return None
+        scored: List[Tuple[int, float, Tuple, bool]] = []
+        for index, (variant, seed) in enumerate(zip(variants, seeds)):
+            _, values, _, _, key, runnable = self._norm(variant, seed, None, None)
+            if key in self._cache or not runnable:
+                continue
+            predicted = self._ranker.predict(
+                self.kernel, variant, values, self.problem, self.machine
+            )
+            if predicted is None:
+                return None
+            exact = (
+                self._ranker.memoized(variant, values, self.problem) is not None
+            )
+            scored.append((index, predicted, key, exact))
+        if not scored:
+            return {}
+        ranked = sorted(scored, key=lambda item: (item[1], item[2]))
+        # no measured frontier exists before the screen, so the
+        # confidence band is relative to the batch's own predicted best
+        kept = self._rank_keep(
+            ranked, max(1, self.config.full_search_variants), band=True
+        )
+        if kept is None:
+            return {}
+        return {
+            index: (predicted, rank + 1, exact)
+            for rank, (index, predicted, _, exact) in enumerate(ranked)
+            if index not in kept
+        }
 
     def _search_variant(
         self, variant: Variant, seed: Dict[str, int]
@@ -641,6 +914,7 @@ class GuidedSearch:
     ) -> Dict[str, int]:
         best = dict(values)
         best_cycles = self.measure(variant, best)
+        self._ranker_observe(variant, best, best_cycles)
         # Shape moves (double one parameter, halve another) in a fixed
         # order, then the size move (halve the whole footprint).
         moves: List[Optional[Tuple[str, str]]] = [
@@ -649,40 +923,57 @@ class GuidedSearch:
             for shrink in params
             if grow != shrink
         ] + [None]
+        plan: Optional[Dict[Tuple, Tuple[float, int]]] = None
 
-        def speculate_from(index: int, frontier: Dict[str, int]) -> None:
+        def make_plan(index: int, frontier: Dict[str, int]) -> None:
+            nonlocal plan
+            plan = self._ranker_plan(
+                variant,
+                [self._stage_move(variant, frontier, params, move) for move in moves[index:]],
+            )
+
+        def speculate_from(
+            index: int, frontier: Dict[str, int], frontier_cycles: float
+        ) -> None:
             self._speculate(
                 (variant, candidate, None, None)
                 for move in moves[index:]
                 for candidate in (self._stage_move(variant, frontier, params, move),)
-                if self._judge(variant, candidate, frontier) is None
+                if self._unplanned(variant, candidate, plan, frontier_cycles)
+                and self._judge(variant, candidate, frontier) is None
             )
 
         improved_any = True
         while improved_any:
             improved_any = False
             index = 0
-            speculate_from(index, best)
+            make_plan(index, best)
+            speculate_from(index, best, best_cycles)
             while index < len(moves):
                 move = moves[index]
                 index += 1
                 candidate = self._stage_move(variant, best, params, move)
-                cycles = self._prescreened(variant, candidate, best)
+                cycles = self._ranked(variant, candidate, plan, best_cycles)
+                if cycles is None:
+                    cycles = self._prescreened(variant, candidate, best)
                 if cycles is None:
                     cycles = self.measure(variant, candidate)
+                    self._ranker_observe(variant, candidate, cycles)
                 if cycles < best_cycles:
                     best, best_cycles = candidate, cycles
                     improved_any = True
                     # The speculated frontier assumed the old best:
-                    # re-speculate the remaining moves from the new one.
+                    # re-plan and re-speculate the remaining moves from it.
                     self._abandon_pending()
-                    speculate_from(index, best)
+                    make_plan(index, best)
+                    speculate_from(index, best, best_cycles)
         self._abandon_pending()
         return best
 
     def _linear_refine(self, variant: Variant, values: Dict[str, int]) -> Dict[str, int]:
         best = dict(values)
         best_cycles = self.measure(variant, best)
+        self._ranker_observe(variant, best, best_cycles)
         line_elems = max(1, self.machine.l1.line_size // 8)
         unroll_params = {p for _, p in variant.unrolls}
         moves = [
@@ -691,6 +982,7 @@ class GuidedSearch:
             for step in (1 if p in unroll_params else max(line_elems, 4),)
             for delta in (step, -step)
         ]
+        plan: Optional[Dict[Tuple, Tuple[float, int]]] = None
 
         def refine_move(frontier: Dict[str, int], move) -> Dict[str, int]:
             p, delta = move
@@ -700,33 +992,53 @@ class GuidedSearch:
             candidate[p] = self._favor_divisor(candidate[p], delta)
             return candidate
 
-        def speculate_from(index: int, frontier: Dict[str, int]) -> None:
+        def make_plan(index: int, frontier: Dict[str, int]) -> None:
+            nonlocal plan
+            plan = self._ranker_plan(
+                variant,
+                [
+                    candidate
+                    for move in moves[index:]
+                    for candidate in (refine_move(frontier, move),)
+                    if candidate != frontier
+                ],
+            )
+
+        def speculate_from(
+            index: int, frontier: Dict[str, int], frontier_cycles: float
+        ) -> None:
             self._speculate(
                 (variant, candidate, None, None)
                 for move in moves[index:]
                 for candidate in (refine_move(frontier, move),)
                 if candidate != frontier
+                and self._unplanned(variant, candidate, plan, frontier_cycles)
                 and self._judge(variant, candidate, frontier) is None
             )
 
         for _ in range(self.config.max_linear_rounds):
             improved = False
             index = 0
-            speculate_from(index, best)
+            make_plan(index, best)
+            speculate_from(index, best, best_cycles)
             while index < len(moves):
                 move = moves[index]
                 index += 1
                 candidate = refine_move(best, move)
                 if candidate == best:
                     continue
-                cycles = self._prescreened(variant, candidate, best)
+                cycles = self._ranked(variant, candidate, plan, best_cycles)
+                if cycles is None:
+                    cycles = self._prescreened(variant, candidate, best)
                 if cycles is None:
                     cycles = self.measure(variant, candidate)
+                    self._ranker_observe(variant, candidate, cycles)
                 if cycles < best_cycles:
                     best, best_cycles = candidate, cycles
                     improved = True
                     self._abandon_pending()
-                    speculate_from(index, best)
+                    make_plan(index, best)
+                    speculate_from(index, best, best_cycles)
             if not improved:
                 break
         self._abandon_pending()

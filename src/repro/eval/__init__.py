@@ -15,7 +15,7 @@ from repro.eval.engine import (
     StageStats,
     stats_delta,
 )
-from repro.eval.keys import candidate_key, trace_signature
+from repro.eval.keys import candidate_key, machine_spec_hash, trace_signature
 
 __all__ = [
     "CachedResult",
@@ -28,5 +28,6 @@ __all__ = [
     "StageStats",
     "stats_delta",
     "candidate_key",
+    "machine_spec_hash",
     "trace_signature",
 ]

@@ -201,6 +201,7 @@ class StageStats:
     simulations: int = 0
     cache_hits: int = 0
     prescreen_skips: int = 0
+    ranker_skips: int = 0
     #: delta split of ``simulations``: full builds vs candidates that
     #: reused a shared pre-prefetch base (``simulations == full_sims +
     #: delta_sims`` always)
@@ -213,6 +214,7 @@ class StageStats:
             "simulations": self.simulations,
             "cache_hits": self.cache_hits,
             "prescreen_skips": self.prescreen_skips,
+            "ranker_skips": self.ranker_skips,
             "full_sims": self.full_sims,
             "delta_sims": self.delta_sims,
         }
@@ -245,6 +247,11 @@ class EvalStats:
     #: stage's running best, so their simulation was skipped entirely
     #: (deterministic: a pure function of the candidate and the model)
     prescreen_skips: int = 0
+    #: candidates the learned batch ranker left out of a tiling round's
+    #: simulated top-k + exploration sample (docs/search.md, "Learned
+    #: ranking") — counted at consumption in driver order, so the count
+    #: is identical at every job count and worker venue
+    ranker_skips: int = 0
     #: simulator throughput over the simulations actually run (cache hits
     #: cost no simulator time); sim_seconds is host wall time spent inside
     #: ``execute()``, sim_accesses the memory events those runs processed
@@ -293,6 +300,7 @@ class EvalStats:
             "disk_write_failures_enospc": self.disk_write_failures_enospc,
             "cache_quarantined": self.cache_quarantined,
             "prescreen_skips": self.prescreen_skips,
+            "ranker_skips": self.ranker_skips,
             "sim_seconds": self.sim_seconds,
             "sim_accesses": self.sim_accesses,
             "full_sims": self.full_sims,
@@ -815,6 +823,31 @@ class EvalEngine:
                 bound=bound,
             )
 
+    def note_ranker_skip(
+        self,
+        variant_name: str,
+        values: Mapping[str, int],
+        predicted: float,
+        rank: int,
+    ) -> None:
+        """Record a candidate the learned batch ranker skipped: it ranked
+        ``rank``-th in its tiling round (1-based, by predicted
+        log-cycles) and fell outside the simulated top-k + exploration
+        sample.  Counted at consumption in driver order — deterministic,
+        part of the canonical trace at every ``-j`` and worker venue."""
+        self.stats.ranker_skips += 1
+        if self._stage is not None:
+            self._stage.ranker_skips += 1
+        self.metrics.counter("eval.ranker_skips").inc()
+        if self.tracer.enabled:
+            self.tracer.event(
+                "ranker_skip",
+                variant=variant_name,
+                values=dict(values),
+                predicted=predicted,
+                rank=rank,
+            )
+
     def _record_batch(
         self,
         requests: Sequence[EvalRequest],
@@ -948,6 +981,7 @@ class EvalEngine:
         previous, self._stage = self._stage, stats
         sims_before, hits_before = stats.simulations, stats.cache_hits
         skips_before = stats.prescreen_skips
+        ranker_before = stats.ranker_skips
         span_cm = span = None
         if self.tracer.enabled:
             span_cm = self.tracer.span("stage", stage=name)
@@ -967,6 +1001,9 @@ class EvalEngine:
                 skips = stats.prescreen_skips - skips_before
                 if skips:
                     span.set(prescreen_skips=skips)
+                ranker_skips = stats.ranker_skips - ranker_before
+                if ranker_skips:
+                    span.set(ranker_skips=ranker_skips)
                 span_cm.__exit__(*sys.exc_info())
 
     def close(self) -> None:

@@ -30,6 +30,7 @@ __all__ = [
     "candidate_key",
     "kernel_fingerprint",
     "machine_fingerprint",
+    "machine_spec_hash",
     "trace_signature",
     "variant_fingerprint",
 ]
@@ -83,6 +84,20 @@ def variant_fingerprint(variant: Variant) -> dict:
 def machine_fingerprint(machine: MachineSpec) -> dict:
     """Canonical description of a machine spec (frozen dataclasses)."""
     return dataclasses.asdict(machine)
+
+
+def machine_spec_hash(machine: MachineSpec) -> str:
+    """16-hex content hash of the full machine spec.
+
+    Two machines with the same *name* but different cache/TLB/latency
+    parameters hash differently — the column ``flatten_trace`` carries so
+    a learned model is never trained across silently-mixed specs, and
+    the check a loaded model artifact applies before ranking.
+    """
+    canonical = json.dumps(
+        machine_fingerprint(machine), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
 
 def candidate_key(

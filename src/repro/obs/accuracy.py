@@ -21,7 +21,12 @@ search (kernel @ machine):
 * **prescreen audit** — for traces recorded *with* the prescreen on, a
   seeded sample of the recorded ``prescreen_skip`` events is
   re-simulated out-of-band and compared against the running best at
-  skip time, measuring the *realized* false-skip rate.
+  skip time, measuring the *realized* false-skip rate;
+* **learned comparison** — given a trained learned ranker
+  (:mod:`repro.analysis.learned`, ``repro report accuracy --model``),
+  the same unique pure-tiling points are scored by the learned
+  surrogate too: rank correlation and log-space error side by side with
+  the analytical model, on identical data.
 
 Everything except the audit is a pure function of canonical trace
 content, so reports are byte-stable for a given trace; the audit is
@@ -46,6 +51,7 @@ __all__ = [
     "DEFAULT_SWEEP_MARGINS",
     "AuditRecord",
     "AuditReport",
+    "LearnedComparison",
     "MarginPoint",
     "Misranking",
     "SearchAccuracy",
@@ -114,6 +120,19 @@ class AuditReport:
 
 
 @dataclass
+class LearnedComparison:
+    """A learned ranker scored on the same measured points as the
+    analytical surrogate (``analyze_trace(..., model=...)``)."""
+
+    fingerprint: str
+    scored: int
+    memo_hits: int              # points answered from the exact memo
+    spearman: Optional[float]
+    mae_log_cycles: Optional[float]
+    mismatch: Optional[str] = None   # why the model is inapplicable
+
+
+@dataclass
 class SearchAccuracy:
     """The observatory's verdict on one search span."""
 
@@ -129,6 +148,7 @@ class SearchAccuracy:
     worst: Optional[Misranking]
     sweep: List[MarginPoint] = field(default_factory=list)
     audit: Optional[AuditReport] = None
+    learned: Optional[LearnedComparison] = None
 
 
 def _spearman(xs: Sequence[float], ys: Sequence[float]) -> Optional[float]:
@@ -373,13 +393,19 @@ def analyze_trace(
     margins: Sequence[float] = DEFAULT_SWEEP_MARGINS,
     audit: int = 0,
     seed: int = 0,
+    model=None,
 ) -> List[SearchAccuracy]:
     """Run the observatory over every search span in a trace.
 
     ``audit > 0`` re-simulates that many sampled prescreen skips per
-    search (expensive: real simulations).  Everything else is offline
-    re-scoring only.
+    search (expensive: real simulations).  ``model`` (a
+    :class:`repro.analysis.learned.LearnedRanker`) additionally scores
+    the same measured points with the learned surrogate, side by side
+    with the analytical one.  Everything else is offline re-scoring
+    only.
     """
+    import math
+
     out: List[SearchAccuracy] = []
     for search in _group_searches(events):
         kernel_name = search.attrs.get("kernel", "")
@@ -389,6 +415,12 @@ def analyze_trace(
         machine = get_machine(machine_name)
         variants = {v.name: v for v in derive_variants(kernel, machine)}
         surrogate = Surrogate(kernel, machine, problem)
+        ranker = None
+        ranker_mismatch = None
+        if model is not None:
+            ranker_mismatch = model.mismatch(kernel_name, machine)
+            if ranker_mismatch is None:
+                ranker = model
 
         evals = [
             e.get("attrs", {}) for _, _, e in search.stream
@@ -399,6 +431,9 @@ def analyze_trace(
         seen = set()
         scores: List[float] = []
         cycles_list: List[float] = []
+        learned_scores: List[float] = []
+        learned_cycles: List[float] = []
+        learned_memo = 0
         tiling_candidates = 0
         for attrs in evals:
             if attrs.get("prefetch") or attrs.get("pads"):
@@ -413,11 +448,44 @@ def analyze_trace(
             variant = variants.get(attrs.get("variant", ""))
             if variant is None:
                 continue
+            if ranker is not None and attrs["cycles"] > 0:
+                values = attrs.get("values", {})
+                predicted = ranker.predict(
+                    kernel, variant, values, problem, machine
+                )
+                if predicted is not None:
+                    if ranker.memoized(variant, values, problem) is not None:
+                        learned_memo += 1
+                    learned_scores.append(predicted)
+                    learned_cycles.append(math.log(attrs["cycles"]))
             score = surrogate.score(variant, attrs.get("values", {}))
             if score is None:
                 continue
             scores.append(score)
             cycles_list.append(attrs["cycles"])
+
+        learned_cmp: Optional[LearnedComparison] = None
+        if model is not None:
+            if ranker_mismatch is not None:
+                learned_cmp = LearnedComparison(
+                    fingerprint=model.fingerprint, scored=0, memo_hits=0,
+                    spearman=None, mae_log_cycles=None,
+                    mismatch=ranker_mismatch,
+                )
+            else:
+                learned_errors = [
+                    abs(p - m) for p, m in zip(learned_scores, learned_cycles)
+                ]
+                learned_cmp = LearnedComparison(
+                    fingerprint=model.fingerprint,
+                    scored=len(learned_scores),
+                    memo_hits=learned_memo,
+                    spearman=_spearman(learned_scores, learned_cycles),
+                    mae_log_cycles=(
+                        sum(learned_errors) / len(learned_errors)
+                        if learned_errors else None
+                    ),
+                )
 
         streams = _tiling_streams(search)
         result = SearchAccuracy(
@@ -432,6 +500,7 @@ def analyze_trace(
             spearman=_spearman(scores, cycles_list),
             worst=_worst_misranking(streams, surrogate, variants),
             sweep=_sweep(streams, surrogate, variants, margins, sims),
+            learned=learned_cmp,
         )
         if audit > 0:
             result.audit = _audit(
@@ -465,6 +534,25 @@ def render_accuracy(analyses: List[SearchAccuracy]) -> str:
             lines.append(
                 f"  rank correlation (score vs cycles): {a.spearman:+.4f}"
             )
+        if a.learned is not None:
+            lc = a.learned
+            if lc.mismatch:
+                lines.append(
+                    f"  learned ranker {lc.fingerprint}: not applicable "
+                    f"({lc.mismatch})"
+                )
+            elif lc.spearman is None:
+                lines.append(
+                    f"  learned ranker {lc.fingerprint}: n/a "
+                    f"({lc.scored} scorable points)"
+                )
+            else:
+                lines.append(
+                    f"  learned ranker {lc.fingerprint}: rank correlation "
+                    f"{lc.spearman:+.4f} over {lc.scored} points "
+                    f"({lc.memo_hits} from the exact memo), "
+                    f"mae(log cycles) {lc.mae_log_cycles:.4f}"
+                )
         if a.worst is None:
             lines.append("  worst misranking: none observed")
         else:

@@ -69,6 +69,8 @@ ROW_COLUMNS = (
     "search",      # search span id within the trace (one trace may hold several)
     "kernel",      # kernel name from the enclosing search span
     "machine",     # resolved machine name from the enclosing search span
+    "machine_spec",  # full-spec hash ("" in pre-1.2 traces): training joins
+                     # on name AND spec, never silently mixing machines
     "problem",     # problem bindings, e.g. {"N": 24}
     "stage",       # innermost enclosing stage name ("" when outside any stage)
     "eval",        # index of this eval event within the trace's eval stream
@@ -186,6 +188,7 @@ def flatten_trace(
             "search": search or "",
             "kernel": search_attrs.get("kernel", ""),
             "machine": search_attrs.get("machine", ""),
+            "machine_spec": search_attrs.get("machine_spec", ""),
             "problem": dict(attrs.get("problem", {})),
             "stage": stage,
             "eval": index,

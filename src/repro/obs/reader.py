@@ -293,6 +293,7 @@ PIPELINE_METRICS = (
     "pipeline.speculative_parked",
     "pipeline.idle_slot_seconds",
     "eval.prescreen_skips",
+    "eval.ranker_skips",
 )
 
 

@@ -58,9 +58,11 @@ __all__ = [
     "check_schema_version",
 ]
 
-#: current writer version: major 1 (unchanged field semantics), minor 1
-#: (adds the ``wall``/``delta`` eval attributes and this version scheme)
-SCHEMA_VERSION = "1.1"
+#: current writer version: major 1 (unchanged field semantics), minor 2
+#: (adds the search span's ``machine_spec`` attribute and the
+#: ``ranker_skip`` event; 1.1 added the ``wall``/``delta`` eval
+#: attributes and this version scheme)
+SCHEMA_VERSION = "1.2"
 
 EVENT_TYPES = ("meta", "span_begin", "span_end", "event", "metric")
 

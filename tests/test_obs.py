@@ -107,7 +107,7 @@ class TestTracer:
     def test_meta_event_carries_schema_version(self):
         events = Tracer(run="x").events()
         meta = trace_meta(events)
-        assert meta["schema"] == "1.1" and meta["run"] == "x"
+        assert meta["schema"] == "1.2" and meta["run"] == "x"
 
 
 class TestSchemaValidation:

@@ -167,7 +167,7 @@ class TestCorpusIngest:
             assert again.id == first.id
         assert [e["id"] for e in corpus.entries()] == [first.id]
         entry = first.entry
-        assert entry["schema"] == "1.1"
+        assert entry["schema"] == "1.2"
         assert entry["searches"] == [{
             "kernel": "mm", "machine": "sgi-r10k-mini", "problem": {"N": 24},
         }]
