@@ -40,7 +40,20 @@ Commands:
   trace corpus, checkpoint journals) for corrupt entries, orphaned temp
   files and stale locks; ``--repair`` quarantines bad entries, removes
   leftovers and rebuilds the corpus index from its trace blobs (see
-  ``docs/robustness.md``, "Storage integrity").
+  ``docs/robustness.md``, "Storage integrity");
+* ``serve --socket PATH`` — tuning-as-a-service: a long-lived daemon
+  that accepts tune requests over a Unix socket, coalesces duplicates,
+  answers repeats from its sealed request store, shares one result
+  cache and worker pool across requests, and warm-starts new sizes
+  from the nearest completed request (see ``docs/serving.md``);
+* ``submit KERNEL [--size N] [--machine M] [--wait]`` — send one tune
+  request to a running daemon; prints the request key (or, with
+  ``--wait``, the winner);
+* ``status|result|watch KEY`` — poll, fetch, or live-stream one
+  submitted request;
+* ``bench serve [--check]`` — measure the daemon's dedup, warm-start
+  transfer, and served-trace determinism against
+  ``benchmarks/perf/serve_floor.json``.
 
 ``tune`` prescreens tiling candidates with the analytical model by
 default (simulations the model can rule out are skipped);
@@ -90,6 +103,8 @@ from repro.storage import StorageError
 _EXPERIMENTS = ("table1", "table4", "fig4", "fig5", "searchcost", "motivation", "generality")
 _DEFAULT_CACHE_DIR = "results/cache"
 _DEFAULT_CHECKPOINT_DIR = "results/checkpoints"
+_DEFAULT_SOCKET = "results/serve.sock"
+_DEFAULT_SERVE_STORE = "results/serve"
 
 
 def _positive_int(text: str) -> int:
@@ -242,9 +257,11 @@ def _parser() -> argparse.ArgumentParser:
     _add_engine_options(experiments)
 
     bench = sub.add_parser("bench", help="tracked performance benchmarks")
-    bench.add_argument("suite", choices=("sim", "search", "trend"),
+    bench.add_argument("suite", choices=("sim", "search", "serve", "trend"),
                        help="benchmark suite to run (sim: simulator throughput; "
                             "search: scheduler pipelining + model prescreen; "
+                            "serve: daemon dedup + warm-start transfer + "
+                            "served-trace determinism; "
                             "trend: append a summary row from the current "
                             "BENCH_*.json files to results/bench_history.jsonl)")
     bench.add_argument("--quick", action="store_true",
@@ -340,6 +357,76 @@ def _parser() -> argparse.ArgumentParser:
     profile.add_argument("trace", metavar="TRACE.jsonl")
     profile.add_argument("-o", "--output", metavar="FILE", default=None,
                          help="write the report to FILE instead of stdout")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the tuning daemon: tune requests over a Unix socket, "
+             "with request dedup, a shared result cache/worker pool, and "
+             "warm-start transfer between requests (docs/serving.md)",
+    )
+    serve.add_argument("--socket", default=_DEFAULT_SOCKET, metavar="PATH",
+                       help=f"Unix socket to listen on (default {_DEFAULT_SOCKET})")
+    serve.add_argument("--store", default=_DEFAULT_SERVE_STORE, metavar="DIR",
+                       help="sealed request-result store; completed requests "
+                            "are answered from here across daemon restarts "
+                            f"(default {_DEFAULT_SERVE_STORE})")
+    serve.add_argument("--cache", nargs="?", const=_DEFAULT_CACHE_DIR,
+                       default=None, metavar="DIR",
+                       help="share the on-disk simulation result cache across "
+                            f"requests (default dir: {_DEFAULT_CACHE_DIR})")
+    serve.add_argument("-j", "--jobs", type=_positive_int, default=1,
+                       metavar="N",
+                       help="workers per search; with processes, all searches "
+                            "share one fair-share pool of N (default 1)")
+    serve.add_argument("--workers", choices=("processes", "threads"),
+                       default="processes",
+                       help="worker venue for -j (default processes)")
+    serve.add_argument("--concurrency", type=_positive_int, default=2,
+                       metavar="N",
+                       help="searches running at once (default 2)")
+
+    submit = sub.add_parser(
+        "submit", help="send one tune request to a running serve daemon"
+    )
+    submit.add_argument("kernel", choices=sorted(KERNELS))
+    submit.add_argument("--machine", default="sgi")
+    submit.add_argument("--size", type=int, default=48)
+    submit.add_argument("--socket", default=_DEFAULT_SOCKET, metavar="PATH")
+    submit.add_argument("--prescreen", dest="prescreen", action="store_true",
+                        default=True,
+                        help="model-prescreen candidates (default on, "
+                             "matching `repro tune`)")
+    submit.add_argument("--no-prescreen", dest="prescreen",
+                        action="store_false",
+                        help="simulate every candidate")
+    submit.add_argument("--max-variants", type=_positive_int, default=None,
+                        metavar="N",
+                        help="tune only the first N derived variants")
+    submit.add_argument("--set", dest="overrides", action="append", default=[],
+                        metavar="KEY=VALUE",
+                        help="override a search-config knob by name, e.g. "
+                             "--set full_search_variants=2 (repeatable; "
+                             "unknown keys are rejected by the daemon)")
+    submit.add_argument("--no-warm-start", dest="warm_start",
+                        action="store_false", default=True,
+                        help="search cold even when a nearby completed "
+                             "request could seed it (warm start never "
+                             "changes the winner, only the search cost)")
+    submit.add_argument("--wait", action="store_true",
+                        help="block until the result and print the winner")
+
+    for name, text in (
+        ("status", "poll one submitted request"),
+        ("result", "fetch the winner of a completed request"),
+        ("watch", "stream a running request's progress events"),
+    ):
+        one = sub.add_parser(name, help=text)
+        one.add_argument("key", metavar="KEY",
+                         help="request key printed by `repro submit`")
+        one.add_argument("--socket", default=_DEFAULT_SOCKET, metavar="PATH")
+        if name == "result":
+            one.add_argument("--wait", action="store_true",
+                             help="block until the request completes")
 
     doctor = sub.add_parser(
         "doctor",
@@ -497,6 +584,130 @@ def _cmd_bench(args) -> None:
     code = bench.main(argv)
     if code:
         raise SystemExit(code)
+
+
+def _cmd_serve(args) -> None:
+    from repro.serve import ServeDaemon
+
+    daemon = ServeDaemon(
+        args.socket,
+        args.store,
+        cache_dir=args.cache,
+        jobs=args.jobs,
+        workers=args.workers,
+        concurrency=args.concurrency,
+    )
+    print(f"repro serve: listening on {args.socket} "
+          f"(store {args.store}, jobs {args.jobs}, "
+          f"concurrency {args.concurrency})")
+    try:
+        daemon.run()
+    except KeyboardInterrupt:
+        pass
+
+
+def _submit_request(args) -> dict:
+    import json
+
+    request: dict = {
+        "kernel": args.kernel,
+        "machine": args.machine,
+        "size": args.size,
+        "warm_start": args.warm_start,
+    }
+    config: dict = {}
+    if not args.prescreen:
+        config["prescreen"] = False
+    for item in args.overrides:
+        key, sep, text = item.partition("=")
+        if not sep:
+            raise SystemExit(f"repro submit: --set expects KEY=VALUE, got {item!r}")
+        try:
+            config[key.strip()] = json.loads(text)
+        except json.JSONDecodeError:
+            config[key.strip()] = text  # daemon-side coercion / rejection
+    if config:
+        request["config"] = config
+    if args.max_variants is not None:
+        request["max_variants"] = args.max_variants
+    return request
+
+
+def _print_winner(reply: dict) -> None:
+    winner = reply.get("winner") or {}
+    values = " ".join(f"{k}={v}" for k, v in sorted(
+        (winner.get("values") or {}).items()
+    ))
+    print(f"state   {reply.get('state')}")
+    served = reply.get("served") or {}
+    if served:
+        parts = []
+        if reply.get("cached"):
+            parts.append("answered from store")
+        if served.get("warm_start"):
+            parts.append(f"warm-started from {served.get('donor')}")
+        if served.get("sims") is not None:
+            parts.append(f"{served['sims']} simulations")
+        if parts:
+            print(f"served  {', '.join(parts)}")
+    elif reply.get("cached"):
+        print("served  answered from store")
+    if winner:
+        print(f"winner  {winner.get('variant')}  {values}")
+        print(f"        {winner.get('mflops', 0):.1f} MFLOPS "
+              f"({winner.get('cycles', 0):.0f} cycles)")
+
+
+def _cmd_submit(args) -> None:
+    from repro.serve import ServeClient
+
+    client = ServeClient(args.socket)
+    reply = client.submit(_submit_request(args), wait=args.wait)
+    print(f"key     {reply['key']}")
+    if args.wait:
+        _print_winner(reply)
+    else:
+        print(f"state   {reply.get('state')}")
+        print(f"        (poll with `repro status {reply['key']}`, "
+              f"stream with `repro watch {reply['key']}`)")
+
+
+def _cmd_status(args) -> None:
+    from repro.serve import ServeClient
+
+    reply = ServeClient(args.socket).status(args.key)
+    print(f"{args.key}: {reply.get('state')}")
+    if reply.get("error"):
+        print(f"  error: {reply['error']}")
+
+
+def _cmd_result(args) -> None:
+    from repro.serve import ServeClient
+
+    reply = ServeClient(args.socket).result(args.key, wait=args.wait)
+    if reply.get("state") == "unknown":
+        raise SystemExit(f"repro result: unknown request {args.key}")
+    if reply.get("state") == "failed":
+        raise SystemExit(f"repro result: {args.key} failed: {reply.get('error')}")
+    if reply.get("state") != "done":
+        print(f"{args.key}: {reply.get('state')} (use --wait to block)")
+        return
+    _print_winner(reply)
+
+
+def _cmd_watch(args) -> None:
+    from repro.serve import ServeClient
+
+    for line in ServeClient(args.socket).watch(args.key):
+        if not line.get("ok", True):
+            raise SystemExit(f"repro watch: {line.get('error')}")
+        if line.get("done"):
+            print(f"{args.key}: {line.get('state')}")
+            break
+        event = line.get("event") or {}
+        attrs = event.get("attrs") or {}
+        label = attrs.get("variant", event.get("name", ""))
+        print(f"{event.get('type', '?'):<6} {label}")
 
 
 def _cmd_trace(args) -> None:
@@ -834,6 +1045,16 @@ def main(argv: Optional[List[str]] = None) -> None:
                              fs_faults=args.inject_fs_faults)
         elif args.command == "bench":
             _cmd_bench(args)
+        elif args.command == "serve":
+            _cmd_serve(args)
+        elif args.command == "submit":
+            _cmd_submit(args)
+        elif args.command == "status":
+            _cmd_status(args)
+        elif args.command == "result":
+            _cmd_result(args)
+        elif args.command == "watch":
+            _cmd_watch(args)
         elif args.command == "trace":
             _cmd_trace(args)
         elif args.command == "corpus":

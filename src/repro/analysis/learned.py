@@ -510,6 +510,7 @@ def train_ranker(
     machine_name: str,
     seed: int = 0,
     ridge_lambda: float = DEFAULT_RIDGE_LAMBDA,
+    machine: Optional[MachineSpec] = None,
 ) -> LearnedRanker:
     """Fit a ranker on flattened corpus rows (seeded, deterministic).
 
@@ -518,13 +519,18 @@ def train_ranker(
     the ridge solve are pure float64 arithmetic, and the seed is part of
     the body (it drives the *search-side* exploration sampling, recorded
     here so an artifact names the whole sampling behaviour).
+
+    ``machine`` bypasses the registry lookup for specs that have no
+    registered name (a serve request carrying an inline spec dict);
+    ``machine_name`` must still match the rows' ``machine`` column.
     """
     from repro.core import derive_variants
     from repro.kernels import get_kernel
     from repro.machines import get_machine
 
     kernel = get_kernel(kernel_name)
-    machine = get_machine(machine_name)
+    if machine is None:
+        machine = get_machine(machine_name)
     spec = _machine_spec_hash(machine)
     variants = {v.name: v for v in derive_variants(kernel, machine)}
     samples = _training_samples(rows, kernel, machine, variants, spec)

@@ -45,8 +45,10 @@ from repro.sim.executor import execute
 __all__ = [
     "run_sim_bench",
     "run_search_bench",
+    "run_serve_bench",
     "check_floor",
     "check_search_floor",
+    "check_serve_floor",
     "trend_row",
     "FLOOR_SLACK",
     "HISTORY_PATH",
@@ -65,6 +67,7 @@ FLOOR_SLACK = 0.30
 #: where the committed floors live (relative to the repo root)
 FLOOR_PATH = "benchmarks/perf/sim_floor.json"
 SEARCH_FLOOR_PATH = "benchmarks/perf/search_floor.json"
+SERVE_FLOOR_PATH = "benchmarks/perf/serve_floor.json"
 
 #: where ``repro bench trend`` accumulates one summary row per run, so
 #: BENCH_*.json regressions leave a history instead of overwriting it
@@ -594,6 +597,214 @@ def check_search_floor(
     return failures, warnings
 
 
+def _one_shot_golden_trace(size: int) -> List[Dict[str, object]]:
+    """The canonical trace the one-shot CLI recipe produces for the
+    golden mm request — the reference the served trace must match
+    byte-for-byte (docs/serving.md, "Determinism contract")."""
+    from repro.core import EcoOptimizer, SearchConfig
+    from repro.eval import EvalEngine
+    from repro.kernels import matmul
+    from repro.machines import get_machine
+    from repro.obs import Tracer, canonical
+
+    machine = get_machine("sgi")
+    tracer = Tracer(command="tune", kernel="mm", machine=machine.name,
+                    size=size, jobs=1)
+    engine = EvalEngine(machine, jobs=1, tracer=tracer)
+    EcoOptimizer(
+        matmul(), machine, SearchConfig(full_search_variants=2),
+        engine=engine,
+    ).optimize({"N": size})
+    tracer.snapshot_metrics(engine.metrics)
+    engine.close()
+    return canonical(tracer.events())
+
+
+def run_serve_bench(quick: bool = False) -> Dict[str, object]:
+    """Run the serving benchmark; returns the BENCH_serve payload.
+
+    Measures the daemon's three perf claims on the golden mm family
+    (``full_search_variants=2`` on the sgi mini machine — the workload
+    pinned by tests/test_search_golden.py), against live daemons on
+    throwaway stores:
+
+    * **warm repeat** — the same request submitted twice; the second
+      answer comes from the sealed request store (zero new searches)
+      and its wall time is compared to the cold search's;
+    * **dedup** — a fresh daemon gets the same request twice
+      back-to-back; the second submission must coalesce onto the first
+      in-flight search (2 requests, 1 search);
+    * **transfer** — N=32 tuned cold (``warm_start`` off) vs. tuned on
+      a daemon whose store already holds the N=24 answer: the
+      warm-started search must avoid a fraction of the simulations and
+      land on the identical winner (deterministic counts — hard gates);
+    * **trace identity** — the cold served request's canonical trace is
+      compared byte-for-byte against the one-shot CLI recipe's.
+
+    The dedup/search counts, sims and winners are deterministic on any
+    host; only the warm-repeat speedup is wall-clock (and its floor is
+    orders of magnitude below the observed ratio).
+    """
+    import shutil
+    import tempfile
+
+    from repro.serve import ServeClient, daemon_thread
+
+    base_req = {
+        "kernel": "mm", "machine": "sgi",
+        "config": {"full_search_variants": 2},
+    }
+    payload: Dict[str, object] = {
+        "schema": 1,
+        "quick": quick,
+        "python": platform.python_version(),
+        "host": _host_context(),
+        "methodology": (
+            "golden mm family (full_search_variants=2) served by live "
+            "daemons (-j 1) on throwaway stores: cold vs. stored-answer "
+            "wall, back-to-back dedup, N=24 -> N=32 warm-start transfer, "
+            "served canonical trace vs. the one-shot CLI recipe"
+        ),
+    }
+    tmp = tempfile.mkdtemp(prefix="repro-bench-serve-")
+    try:
+        # -- session 1: cold, warm repeat, cold N=32 reference ----------
+        sock1 = os.path.join(tmp, "s1.sock")
+        with daemon_thread(sock1, os.path.join(tmp, "store1"), jobs=1):
+            client = ServeClient(sock1)
+            start = time.perf_counter()
+            cold = client.submit(dict(base_req, size=24), wait=True,
+                                 trace=True)
+            cold_wall = time.perf_counter() - start
+            searches_after_cold = client.stats()["counters"]["searches"]
+            start = time.perf_counter()
+            warm = client.submit(dict(base_req, size=24), wait=True)
+            warm_wall = time.perf_counter() - start
+            searches_after_warm = client.stats()["counters"]["searches"]
+            cold32 = client.submit(
+                dict(base_req, size=32, warm_start=False), wait=True
+            )
+        payload["warm"] = {
+            "cold_wall_seconds": round(cold_wall, 3),
+            "warm_wall_seconds": round(max(1e-6, warm_wall), 6),
+            "warm_speedup": round(cold_wall / max(1e-6, warm_wall), 1),
+            "warm_cached": bool(warm.get("cached")),
+            "warm_new_searches": searches_after_warm - searches_after_cold,
+            "winner_match": warm["winner"] == cold["winner"],
+        }
+
+        # -- trace identity vs. the one-shot recipe ---------------------
+        direct = _one_shot_golden_trace(24)
+        served = cold["trace"]
+        payload["trace"] = {
+            "events": len(served),
+            "identical": json.dumps(served, sort_keys=True)
+            == json.dumps(direct, sort_keys=True),
+        }
+
+        # -- session 2: dedup coalescing + warm-start transfer ----------
+        sock2 = os.path.join(tmp, "s2.sock")
+        with daemon_thread(sock2, os.path.join(tmp, "store2"), jobs=1):
+            client = ServeClient(sock2)
+            first = client.submit(dict(base_req, size=24))
+            second = client.submit(dict(base_req, size=24))
+            dedup_result = client.result(first["key"], wait=True)
+            counters = client.stats()["counters"]
+            warm32 = client.submit(dict(base_req, size=32), wait=True)
+        payload["dedup"] = {
+            "requests": counters["requests"],
+            "dedup_hits": counters["dedup_hits"],
+            "searches": counters["searches"],
+            "coalesced": bool(second.get("dedup") or second.get("cached")),
+            "dedup_rate": round(
+                counters["dedup_hits"] / max(1, counters["requests"]), 4
+            ),
+            "winner_match": dedup_result["winner"] == cold["winner"],
+        }
+        sims_cold = cold32["served"]["sims"]
+        sims_warm = warm32["served"]["sims"]
+        payload["transfer"] = {
+            "sims_cold": sims_cold,
+            "sims_warm": sims_warm,
+            "avoided_frac": round(1.0 - sims_warm / max(1, sims_cold), 4),
+            "warm_start": bool(warm32["served"]["warm_start"]),
+            "donor": warm32["served"]["donor"],
+            "ranker": warm32["served"]["ranker"],
+            "winner_match": warm32["winner"] == cold32["winner"],
+        }
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    return payload
+
+
+def check_serve_floor(
+    results: Dict[str, object], floor: Dict[str, object]
+) -> Tuple[List[str], List[str]]:
+    """Compare a serve-bench run against the committed floor.
+
+    Everything but the warm-repeat speedup is deterministic (dedup and
+    search counts, sims avoided, winners, trace bytes) and enforced
+    hard, with no slack.  The speedup gate is wall-clock but its floor
+    (10x) sits orders of magnitude below the observed ratio — a stored
+    answer costs a socket round-trip, a cold search costs seconds — so
+    it is enforced hard too; warnings are reserved for future
+    host-sensitive gates.
+    """
+    failures: List[str] = []
+    warnings: List[str] = []
+    hard = floor.get("hard", {})
+    warm = results.get("warm", {})
+    min_speedup = hard.get("warm_speedup")
+    if min_speedup is not None:
+        actual = warm.get("warm_speedup", 0.0)
+        if actual < min_speedup:
+            failures.append(
+                f"warm repeat answered only {actual}x faster than the cold "
+                f"search, floor requires >= {min_speedup}x"
+            )
+    if hard.get("warm_zero_searches") and warm.get("warm_new_searches", 1):
+        failures.append(
+            f"warm repeat ran {warm.get('warm_new_searches')} new "
+            f"search(es); a stored answer must run none"
+        )
+    if hard.get("warm_winner_match") and not warm.get("winner_match"):
+        failures.append("warm repeat returned a different winner")
+    dedup = results.get("dedup", {})
+    if hard.get("dedup_coalesced") and not dedup.get("coalesced"):
+        failures.append(
+            "back-to-back identical submissions did not coalesce onto one "
+            "in-flight search"
+        )
+    min_dedup = hard.get("dedup_rate")
+    if min_dedup is not None:
+        actual = dedup.get("dedup_rate", 0.0)
+        if actual < min_dedup:
+            failures.append(
+                f"dedup rate {actual:.1%} is below the floor's "
+                f"{min_dedup:.0%}"
+            )
+    if hard.get("dedup_winner_match") and not dedup.get("winner_match"):
+        failures.append("a coalesced request returned a different winner")
+    transfer = results.get("transfer", {})
+    min_avoided = hard.get("transfer_avoided_frac")
+    if min_avoided is not None:
+        actual = transfer.get("avoided_frac", 0.0)
+        if actual < min_avoided:
+            failures.append(
+                f"warm-start transfer avoided {actual:.1%} of the cold "
+                f"search's sims, floor requires >= {min_avoided:.0%}"
+            )
+    if hard.get("transfer_winner_match") and not transfer.get("winner_match"):
+        failures.append("warm-start transfer changed the tuned winner")
+    if hard.get("trace_identical") and not results.get("trace", {}).get(
+        "identical"
+    ):
+        failures.append(
+            "served canonical trace differs from the one-shot CLI recipe's"
+        )
+    return failures, warnings
+
+
 def _load_floor(path: str) -> Optional[Dict[str, object]]:
     try:
         with open(path) as handle:
@@ -721,9 +932,54 @@ def _main_search(args) -> int:
     return 0
 
 
+def _main_serve(args) -> int:
+    floor_path = args.floor or SERVE_FLOOR_PATH
+    out = args.out or "BENCH_serve.json"
+    results = run_serve_bench(quick=args.quick)
+    with open(out, "w") as handle:
+        json.dump(results, handle, indent=1)
+        handle.write("\n")
+
+    print(f"wrote {out}")
+    warm = results["warm"]
+    print(f"  warm repeat: cold {warm['cold_wall_seconds']}s -> stored "
+          f"{warm['warm_wall_seconds']}s ({warm['warm_speedup']}x), "
+          f"{warm['warm_new_searches']} new searches, "
+          f"winner_match={warm['winner_match']}")
+    dedup = results["dedup"]
+    print(f"  dedup: {dedup['requests']} requests -> {dedup['searches']} "
+          f"search(es), {dedup['dedup_hits']} coalesced "
+          f"(rate {dedup['dedup_rate']:.1%}), "
+          f"winner_match={dedup['winner_match']}")
+    transfer = results["transfer"]
+    print(f"  transfer: sims {transfer['sims_cold']} -> "
+          f"{transfer['sims_warm']} (avoided {transfer['avoided_frac']:.1%}, "
+          f"donor {transfer['donor']}), "
+          f"winner_match={transfer['winner_match']}")
+    trace = results["trace"]
+    print(f"  trace: {trace['events']} canonical events, identical to "
+          f"one-shot: {trace['identical']}")
+
+    if args.check:
+        floor = _load_floor(floor_path)
+        if floor is None:
+            print(f"floor file {floor_path} not found: nothing to check against")
+            return 1
+        failures, warnings = check_serve_floor(results, floor)
+        for warning in warnings:
+            print(f"PERF WARNING: {warning}")
+        if failures:
+            for failure in failures:
+                print(f"PERF REGRESSION: {failure}")
+            return 1
+        print(f"floor check passed ({floor_path})")
+    return 0
+
+
 def trend_row(
     sim: Optional[Dict[str, object]] = None,
     search: Optional[Dict[str, object]] = None,
+    serve: Optional[Dict[str, object]] = None,
     timestamp: Optional[float] = None,
 ) -> Dict[str, object]:
     """One history row summarizing the current ``BENCH_*.json`` payloads.
@@ -769,6 +1025,16 @@ def trend_row(
             row["search"]["learned_winner_match"] = learned.get(
                 "winner_match"
             )
+    if serve is not None:
+        # the serving headline numbers the serve floor gates on
+        row["serve"] = {
+            "quick": serve.get("quick"),
+            "warm_speedup": serve.get("warm", {}).get("warm_speedup"),
+            "dedup_rate": serve.get("dedup", {}).get("dedup_rate"),
+            "transfer_avoided_frac":
+                serve.get("transfer", {}).get("avoided_frac"),
+            "trace_identical": serve.get("trace", {}).get("identical"),
+        }
     return row
 
 
@@ -781,11 +1047,13 @@ def _main_trend(args) -> int:
     """
     sim = _load_floor("BENCH_sim.json")
     search = _load_floor("BENCH_search.json")
-    if sim is None and search is None:
-        print("no BENCH_sim.json or BENCH_search.json in the working "
-              "directory: run `repro bench sim` / `repro bench search` first")
+    serve = _load_floor("BENCH_serve.json")
+    if sim is None and search is None and serve is None:
+        print("no BENCH_sim.json, BENCH_search.json or BENCH_serve.json in "
+              "the working directory: run `repro bench sim` / `repro bench "
+              "search` / `repro bench serve` first")
         return 1
-    row = trend_row(sim, search)
+    row = trend_row(sim, search, serve)
     out = args.out or HISTORY_PATH
     parent = os.path.dirname(out)
     if parent:
@@ -821,6 +1089,18 @@ def _main_trend(args) -> int:
                 f"{row['search']['learned_avoided_frac']:.1%}"
             )
         parts.append("search " + ", ".join(bits))
+    if "serve" in row:
+        bits = []
+        if row["serve"].get("warm_speedup") is not None:
+            bits.append(f"warm {row['serve']['warm_speedup']}x")
+        if row["serve"].get("dedup_rate") is not None:
+            bits.append(f"dedup {row['serve']['dedup_rate']:.1%}")
+        if row["serve"].get("transfer_avoided_frac") is not None:
+            bits.append(
+                f"transfer avoided "
+                f"{row['serve']['transfer_avoided_frac']:.1%}"
+            )
+        parts.append("serve " + ", ".join(bits))
     print(f"appended to {out} (row {count}): " + "; ".join(parts))
     return 0
 
@@ -831,10 +1111,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     import argparse
 
     parser = argparse.ArgumentParser(prog="repro bench")
-    parser.add_argument("suite", nargs="?", choices=("sim", "search", "trend"),
+    parser.add_argument("suite", nargs="?",
+                        choices=("sim", "search", "serve", "trend"),
                         default="sim",
                         help="benchmark suite (sim: simulator throughput; "
                              "search: scheduler pipelining + model prescreen; "
+                             "serve: daemon dedup/warm-start serving; "
                              "trend: append a BENCH_*.json summary row to "
                              f"{HISTORY_PATH})")
     parser.add_argument("--quick", action="store_true",
@@ -857,6 +1139,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _main_trend(args)
     if args.suite == "search":
         return _main_search(args)
+    if args.suite == "serve":
+        return _main_serve(args)
     return _main_sim(args)
 
 

@@ -155,6 +155,18 @@ class EcoOptimizer:
                 "ranker_explore": self.config.ranker_explore,
                 "ranker_margin": self.config.ranker_margin,
                 "ranker_seed": self.config.ranker_seed,
+                # a transfer-tuning warm start changes the visit order
+                # (the staged search climbs from the donor's point), so a
+                # journal written warm never resumes cold or under a
+                # different donor
+                "warm_seeds": (
+                    {
+                        name: dict(sorted(seed.items()))
+                        for name, seed in sorted(self.config.warm_seeds.items())
+                    }
+                    if self.config.warm_seeds
+                    else None
+                ),
             },
         }
 

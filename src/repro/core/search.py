@@ -39,6 +39,7 @@ the paper's reported range (tens of points).
 from __future__ import annotations
 
 import math
+import os
 import random
 import time
 import warnings
@@ -94,7 +95,13 @@ class SearchConfig:
     #: engine has workers (``jobs > 1``).  Decisions are identical either
     #: way: speculative results are consumed only when the driver reaches
     #: them in its deterministic order, and abandoned otherwise.
-    pipeline: bool = True
+    #: ``None`` (the default) auto-selects: pipelined when the engine has
+    #: workers *and* the host has more than one CPU, barrier otherwise —
+    #: at effective parallelism 1 speculation only adds submit/abandon
+    #: bookkeeping (measured 0.66x on single-CPU hosts), so the barrier
+    #: scheduler wins there.  ``True``/``False`` force the venue; the
+    #: resolved choice lands in the search span's ``scheduler`` attr.
+    pipeline: Optional[bool] = None
     #: model-based prescreen (docs/search.md): skip simulating tiling
     #: candidates the surrogate model bounds worse than the stage's
     #: running best by more than ``prescreen_margin``
@@ -118,6 +125,14 @@ class SearchConfig:
     #: seed of the exploration sampling; drawn in driver order, so the
     #: sampled candidates are identical at every -j / worker venue
     ranker_seed: int = 0
+    #: transfer-tuning warm start (docs/serving.md): per-variant seed
+    #: points (``{variant name: {param: value}}``) carried from a donor
+    #: search's winner.  A listed variant starts its staged search from
+    #: the donor's point (merged over the model seed, clamped) instead of
+    #: the model seed — changing only the visit order/cost, never the
+    #: candidate space, and recorded in the journal scope so resumed runs
+    #: replay identically.
+    warm_seeds: Optional[Dict[str, Dict[str, int]]] = None
 
 
 @dataclass
@@ -171,6 +186,14 @@ class GuidedSearch:
                 f"engine is bound to {engine.machine.name}, search targets {machine.name}"
             )
         self.engine = engine if engine is not None else EvalEngine(machine)
+        #: resolved scheduler: ``config.pipeline`` when forced, else
+        #: pipelined only at effective parallelism > 1 (workers on the
+        #: engine and more than one CPU on the host) — the barrier
+        #: scheduler is strictly cheaper when nothing can overlap
+        if self.config.pipeline is not None:
+            self._pipeline = bool(self.config.pipeline)
+        else:
+            self._pipeline = self.engine.jobs > 1 and (os.cpu_count() or 1) > 1
         #: optional crash-safe checkpoint: completed stages are recorded
         #: as they finish and replayed on resume (docs/robustness.md)
         self.journal = journal
@@ -218,7 +241,7 @@ class GuidedSearch:
         picking up the point's speculative result when one is in flight —
         with identical accounting; otherwise it is a one-item batch.
         """
-        if self.config.pipeline:
+        if self._pipeline:
             return self._consume(variant, values, prefetch, pads)
         return self.measure_many([(variant, values, prefetch, pads)])[0]
 
@@ -361,7 +384,7 @@ class GuidedSearch:
         is abandoned, and its result — even if it finished — is discarded
         without reaching the cache, stats or trace.
         """
-        if not self.config.pipeline:
+        if not self._pipeline:
             return
         for variant, values, prefetch, pads in items:
             variant, values, prefetch, pads, key, runnable = self._norm(
@@ -585,6 +608,13 @@ class GuidedSearch:
             machine_spec=machine_spec_hash(self.machine),
             problem=dict(sorted(self.problem.items())),
             variants=len(variants),
+            # resolved candidate scheduler (auto unless config forces it)
+            scheduler="pipelined" if self._pipeline else "barrier",
+            **(
+                {"warm_start": sorted(self.config.warm_seeds)}
+                if self.config.warm_seeds
+                else {}
+            ),
         ) as span:
             result = self._run(variants)
             span.set(
@@ -866,6 +896,13 @@ class GuidedSearch:
                 else:
                     value = max(self.config.min_tile, value)
                 values[p] = value
+        warm = (self.config.warm_seeds or {}).get(variant.name)
+        if warm:
+            # transfer tuning: start from the donor's tuned point, with
+            # the model seed filling any parameter the donor lacks
+            values.update(
+                (p, int(v)) for p, v in warm.items() if p in values
+            )
         return self._clamp(variant, values)
 
     def _clamp(self, variant: Variant, values: Dict[str, int]) -> Dict[str, int]:

@@ -509,6 +509,7 @@ class EvalEngine:
         policy: Optional[EvalPolicy] = None,
         fault_plan: Optional[FaultPlan] = None,
         workers: str = "processes",
+        pool=None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -545,6 +546,11 @@ class EvalEngine:
         self.policy = policy if policy is not None else EvalPolicy()
         #: optional chaos harness: deterministic injected failures
         self.fault_plan = fault_plan
+        #: externally owned worker pool (e.g. the serve daemon's shared
+        #: :class:`repro.serve.broker.SharedWorkerPool`): the engine
+        #: submits to it but never shuts it down — its lifetime, recycling
+        #: and fair-share scheduling belong to the owner
+        self._external_pool = pool
         self._pool: Optional[ProcessPoolExecutor] = None
         self._stage: Optional[StageStats] = None
         #: set once the pool broke more than the policy tolerates — the
@@ -1006,6 +1012,45 @@ class EvalEngine:
                     span.set(ranker_skips=ranker_skips)
                 span_cm.__exit__(*sys.exc_info())
 
+    def reset_for_search(self, tracer=None, metrics: Optional[MetricsRegistry] = None) -> None:
+        """Prepare the engine for the next independent search.
+
+        Clears every piece of *per-search* memoization — stats, the
+        in-flight/parked candidate table, the first-seen hit sources and
+        the consumed-signature set behind the full/delta split — so the
+        next search's accounting starts from zero and is byte-identical
+        to what a fresh engine would record.  Everything expensive stays
+        alive: the worker pool (spawn cost is the whole point of reuse),
+        the result cache handles (memory + disk), the module-level
+        base-IR LRU, and the supervision history (``pool_restarts`` draws
+        on a per-engine budget, and the cache-counter deltas in
+        ``_sync_disk_failures`` must keep tracking the shared cache's
+        cumulative totals).  The serve daemon calls this between
+        requests; back-to-back ``repro experiments`` legs can too.
+
+        ``tracer``/``metrics`` optionally re-point the observability
+        sinks at per-search receivers (the daemon gives every request its
+        own trace buffer).
+        """
+        leftover = [e for e in self._inflight.values() if e.future is not None]
+        for entry in leftover:
+            entry.future.cancel()
+        self._inflight.clear()
+        self._hit_sources.clear()
+        self._seen_signatures.clear()
+        self._stage = None
+        self._max_inflight = 0
+        restarts = self.stats.pool_restarts
+        self.stats = EvalStats()
+        # the restart budget is per engine lifetime, not per search —
+        # otherwise a flaky pool would get max_pool_restarts fresh
+        # chances every request and never degrade to serial
+        self.stats.pool_restarts = restarts
+        if tracer is not None:
+            self.tracer = tracer
+        if metrics is not None:
+            self.metrics = metrics
+
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown()
@@ -1358,14 +1403,25 @@ class EvalEngine:
             e.attempt += 1
             e.result = ("ok", counters.cycles, counters)
 
-    def _ensure_pool(self) -> ProcessPoolExecutor:
+    def _ensure_pool(self):
+        if self._external_pool is not None:
+            return self._external_pool
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self.jobs)
         return self._pool
 
     def _recycle_pool(self) -> None:
         """Discard a pool whose workers may be wedged on abandoned
-        (timed-out) simulations; the next round gets fresh workers."""
+        (timed-out) simulations; the next round gets fresh workers.
+        An external pool is recycled through its owner (it may be
+        serving other engines)."""
+        if self._external_pool is not None:
+            recycle = getattr(self._external_pool, "recycle", None)
+            if recycle is not None:
+                recycle()
+            self._pool_generation += 1
+            self.metrics.counter("eval.pool_recycles").inc()
+            return
         if self._pool is not None:
             try:
                 self._pool.shutdown(wait=False, cancel_futures=True)
@@ -1380,7 +1436,11 @@ class EvalEngine:
         self.stats.pool_restarts += 1
         self._pool_generation += 1
         self.metrics.counter("eval.pool_restarts").inc()
-        if self._pool is not None:
+        if self._external_pool is not None:
+            recycle = getattr(self._external_pool, "recycle", None)
+            if recycle is not None:
+                recycle()
+        elif self._pool is not None:
             try:
                 self._pool.shutdown(wait=False, cancel_futures=True)
             except Exception:

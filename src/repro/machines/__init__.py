@@ -10,6 +10,7 @@ from repro.machines.specs import (
     MachineSpec,
     TlbSpec,
     get_machine,
+    machine_from_dict,
 )
 
 __all__ = [
@@ -22,4 +23,5 @@ __all__ = [
     "ULTRASPARC_IIE_MINI",
     "MACHINES",
     "get_machine",
+    "machine_from_dict",
 ]

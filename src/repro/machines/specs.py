@@ -32,6 +32,7 @@ __all__ = [
     "ULTRASPARC_IIE_MINI",
     "MACHINES",
     "get_machine",
+    "machine_from_dict",
 ]
 
 
@@ -290,6 +291,20 @@ MACHINES: Dict[str, MachineSpec] = {
     machine.name: machine
     for machine in (SGI_R10K, ULTRASPARC_IIE, SGI_R10K_MINI, ULTRASPARC_IIE_MINI)
 }
+
+
+def machine_from_dict(data: Dict) -> MachineSpec:
+    """Rebuild a :class:`MachineSpec` from its ``dataclasses.asdict`` form.
+
+    Inverse of :func:`repro.eval.keys.machine_fingerprint`, which is how
+    specs travel over the wire (serve requests) and live in sealed
+    records.  The dataclass validators re-run, so a hand-edited spec
+    file gets the same sanity checks as the built-in machines.
+    """
+    fields = dict(data)
+    caches = tuple(CacheSpec(**cache) for cache in fields.pop("caches"))
+    tlb = TlbSpec(**fields.pop("tlb"))
+    return MachineSpec(caches=caches, tlb=tlb, **fields)
 
 
 def get_machine(name: str) -> MachineSpec:

@@ -95,12 +95,18 @@ class Tracer:
 
     enabled = True
 
-    def __init__(self, **meta: Any) -> None:
+    def __init__(self, *, sink=None, **meta: Any) -> None:
         self._events: List[Dict[str, Any]] = []
         self._stack: List[Span] = []
         self._next_span = 0
         self._clock = time.perf_counter
         self._t0 = self._clock()
+        #: optional live tap: called with each event dict right after it
+        #: is buffered (same thread as the emitter).  The serve daemon
+        #: multiplexes these to ``repro watch`` streams; the buffered
+        #: record stays the source of truth, so a slow or failing sink
+        #: never changes what the trace file contains.
+        self._sink = sink
         self._emit("meta", "trace", attrs={"schema": SCHEMA_VERSION, **meta})
 
     # -- emission --------------------------------------------------------
@@ -128,6 +134,11 @@ class Tracer:
         if attrs:
             event["attrs"] = attrs
         self._events.append(event)
+        if self._sink is not None:
+            try:
+                self._sink(event)
+            except Exception:
+                pass  # a live tap must never break the search
 
     @property
     def _current(self) -> Optional[str]:

@@ -1,0 +1,40 @@
+"""Tuning-as-a-service: the ``repro serve`` daemon and its client.
+
+One long-lived process owns the expensive state every one-shot tune
+pays to rebuild — worker pool, result cache, trained rankers, completed
+answers — and serves tune requests over a Unix socket (docs/serving.md):
+
+* :mod:`repro.serve.protocol` — request canonicalization and keys, plus
+  the newline-delimited-JSON wire helpers;
+* :mod:`repro.serve.store` — the sealed request-result store (answers,
+  canonical traces, per-request ranker artifacts);
+* :mod:`repro.serve.broker` — the fair-share worker pool shared by all
+  in-flight searches;
+* :mod:`repro.serve.daemon` — the asyncio daemon;
+* :mod:`repro.serve.client` — the blocking client the CLI uses.
+"""
+
+from repro.serve.protocol import (
+    ProtocolError,
+    canonical_request,
+    decode_line,
+    encode_line,
+    request_key,
+)
+from repro.serve.store import RequestStore
+from repro.serve.broker import SharedWorkerPool
+from repro.serve.daemon import ServeDaemon, daemon_thread
+from repro.serve.client import ServeClient
+
+__all__ = [
+    "ProtocolError",
+    "RequestStore",
+    "ServeClient",
+    "ServeDaemon",
+    "SharedWorkerPool",
+    "canonical_request",
+    "daemon_thread",
+    "decode_line",
+    "encode_line",
+    "request_key",
+]

@@ -1,0 +1,171 @@
+"""Fair-share worker pool shared by every in-flight search.
+
+One :class:`~concurrent.futures.ProcessPoolExecutor` serves all tenant
+engines.  Submissions do not go straight to the executor — each tenant
+gets a FIFO queue and the broker dispatches round-robin across tenants,
+keeping at most ``max_workers`` tasks inside the executor at a time, so
+the executor's own global FIFO never decides who runs next: a search
+that floods a hundred candidates cannot starve a two-candidate tenant
+arriving behind it.
+
+The facade an engine sees (:meth:`client`) quacks exactly like the
+executor the engine would otherwise own — ``submit`` returning a
+:class:`~concurrent.futures.Future`, plus ``recycle`` for the engine's
+timeout/break supervision — so :class:`repro.eval.engine.EvalEngine`
+needs no serve-specific code beyond accepting an external pool.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import deque
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Deque, Dict, Optional, Tuple
+
+__all__ = ["SharedWorkerPool"]
+
+
+class _TenantPool:
+    """What one engine holds: a tenant-tagged view of the shared pool."""
+
+    def __init__(self, broker: "SharedWorkerPool", tenant: str) -> None:
+        self._broker = broker
+        self.tenant = tenant
+
+    def submit(self, fn, *args, **kwargs) -> Future:
+        return self._broker._submit(self.tenant, fn, args, kwargs)
+
+    def recycle(self) -> None:
+        self._broker.recycle()
+
+
+class SharedWorkerPool:
+    """One process pool, many engines, round-robin fairness."""
+
+    def __init__(self, max_workers: int) -> None:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers
+        #: reentrant: an already-done inner future runs its callback
+        #: synchronously inside ``add_done_callback`` — i.e. inside
+        #: ``_pump_locked`` — and ``_finish`` takes the lock again
+        self._lock = threading.RLock()
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._queues: Dict[str, Deque[Tuple[Future, object, tuple, dict]]] = {}
+        #: round-robin cursor over tenant names (sorted on every pass so
+        #: the rotation is stable regardless of registration order)
+        self._turn = 0
+        self._outstanding = 0
+        #: bumped on recycle: done-callbacks from a discarded executor
+        #: must not decrement the replacement's slot count
+        self._generation = 0
+        self._tenant_seq = itertools.count()
+        self._closed = False
+        #: observability counters (read by the daemon's stats op)
+        self.submitted = 0
+        self.recycles = 0
+
+    # -- tenant facade ---------------------------------------------------
+    def client(self, tenant: Optional[str] = None) -> _TenantPool:
+        """A pool facade for one engine; each client is its own queue."""
+        if tenant is None:
+            tenant = f"tenant-{next(self._tenant_seq)}"
+        with self._lock:
+            self._queues.setdefault(tenant, deque())
+        return _TenantPool(self, tenant)
+
+    # -- scheduling ------------------------------------------------------
+    def _submit(self, tenant: str, fn, args, kwargs) -> Future:
+        outer: Future = Future()
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("SharedWorkerPool is closed")
+            self._queues.setdefault(tenant, deque()).append(
+                (outer, fn, args, kwargs)
+            )
+            self.submitted += 1
+            self._pump_locked()
+        return outer
+
+    def _pump_locked(self) -> None:
+        """Dispatch queued work round-robin while executor slots last."""
+        tenants = sorted(name for name, q in self._queues.items() if q)
+        while tenants and self._outstanding < self.max_workers:
+            tenant = tenants[self._turn % len(tenants)]
+            queue = self._queues[tenant]
+            outer, fn, args, kwargs = queue.popleft()
+            if not queue:
+                tenants.remove(tenant)
+            else:
+                self._turn += 1
+            if not outer.set_running_or_notify_cancel():
+                continue  # cancelled while queued — slot stays free
+            executor = self._ensure_executor_locked()
+            try:
+                inner = executor.submit(fn, *args, **kwargs)
+            except BrokenProcessPool as error:
+                outer.set_exception(error)
+                continue
+            self._outstanding += 1
+            inner.add_done_callback(
+                lambda f, outer=outer, gen=self._generation: self._finish(
+                    outer, f, gen
+                )
+            )
+
+    def _finish(self, outer: Future, inner: Future, generation: int) -> None:
+        with self._lock:
+            if generation == self._generation:
+                self._outstanding -= 1
+            self._pump_locked()
+        # settle the outer future outside the lock: its waiters run
+        # engine supervision code that may submit again
+        try:
+            error = inner.exception()
+        except BaseException as raised:  # CancelledError from a recycle
+            error = raised
+        try:
+            if error is not None:
+                outer.set_exception(error)
+            else:
+                outer.set_result(inner.result())
+        except Exception:
+            pass  # outer already cancelled by its engine
+
+    # -- lifecycle -------------------------------------------------------
+    def _ensure_executor_locked(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.max_workers)
+        return self._executor
+
+    def recycle(self) -> None:
+        """Swap the executor (wedged/broken workers); queued work and
+        fresh submissions carry over to the replacement."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+            self._outstanding = 0
+            self._generation += 1
+            self.recycles += 1
+        if executor is not None:
+            try:
+                executor.shutdown(wait=False, cancel_futures=True)
+            except Exception:
+                pass
+        with self._lock:
+            self._pump_locked()
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            executor, self._executor = self._executor, None
+            pending = [
+                item for queue in self._queues.values() for item in queue
+            ]
+            for queue in self._queues.values():
+                queue.clear()
+        for outer, _, _, _ in pending:
+            outer.cancel()
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)

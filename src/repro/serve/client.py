@@ -1,0 +1,91 @@
+"""Blocking Unix-socket client for the serve daemon.
+
+One connection per operation: connect, send one NDJSON line, read the
+reply (``watch`` reads a stream).  Deliberately dependency-free and
+synchronous — it is what the ``repro submit|status|watch|result`` CLI
+commands and the test/benchmark harnesses use.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, Iterator, Mapping, Optional
+
+from repro.serve.protocol import ProtocolError, decode_line, encode_line
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """Talk to a :class:`~repro.serve.daemon.ServeDaemon` socket."""
+
+    def __init__(self, socket_path, timeout: Optional[float] = 600.0) -> None:
+        self.socket_path = str(socket_path)
+        self.timeout = timeout
+
+    # -- wire ------------------------------------------------------------
+    def _connect(self) -> socket.socket:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout)
+        sock.connect(self.socket_path)
+        return sock
+
+    def request(self, obj: Mapping[str, Any]) -> Dict[str, Any]:
+        """Send one operation, return its (single-line) reply."""
+        with self._connect() as sock:
+            sock.sendall(encode_line(obj))
+            with sock.makefile("rb") as lines:
+                line = lines.readline()
+        if not line:
+            raise ProtocolError("daemon closed the connection without replying")
+        return decode_line(line)
+
+    def stream(self, obj: Mapping[str, Any]) -> Iterator[Dict[str, Any]]:
+        """Send one operation, yield reply lines until the daemon closes."""
+        with self._connect() as sock:
+            sock.sendall(encode_line(obj))
+            with sock.makefile("rb") as lines:
+                for line in lines:
+                    yield decode_line(line)
+
+    # -- operations ------------------------------------------------------
+    def ping(self) -> Dict[str, Any]:
+        return self._checked({"op": "ping"})
+
+    def submit(self, request: Mapping[str, Any], wait: bool = False,
+               trace: bool = False) -> Dict[str, Any]:
+        op: Dict[str, Any] = {"op": "submit", "request": dict(request)}
+        if wait:
+            op["wait"] = True
+        if trace:
+            op["trace"] = True
+        return self._checked(op)
+
+    def status(self, key: str) -> Dict[str, Any]:
+        return self._checked({"op": "status", "key": key})
+
+    def result(self, key: str, wait: bool = False,
+               trace: bool = False) -> Dict[str, Any]:
+        op: Dict[str, Any] = {"op": "result", "key": key}
+        if wait:
+            op["wait"] = True
+        if trace:
+            op["trace"] = True
+        return self._checked(op)
+
+    def watch(self, key: str) -> Iterator[Dict[str, Any]]:
+        return self.stream({"op": "watch", "key": key})
+
+    def stats(self) -> Dict[str, Any]:
+        return self._checked({"op": "stats"})
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self._checked({"op": "shutdown"})
+
+    def _checked(self, op: Mapping[str, Any]) -> Dict[str, Any]:
+        reply = self.request(op)
+        if not reply.get("ok", False):
+            raise RuntimeError(
+                f"serve {op.get('op')} failed: {reply.get('error', reply)}"
+            )
+        return reply
